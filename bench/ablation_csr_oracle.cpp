@@ -1,0 +1,46 @@
+// A4 — DFL-CSR oracle ablation: exact enumeration (the paper's §VI
+// assumption) vs lazy-greedy (1−1/e coverage approximation). Greedy scales
+// to families too large to enumerate per step; the ablation measures the
+// approximation's regret cost on an enumerable instance.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncb;
+  using namespace ncb::bench;
+  CommonFlags flags = parse_common(argc, argv);
+  if (flags.reps > 10 && !flags.quick) flags.reps = 10;
+
+  ExperimentConfig config = fig6_config();
+  apply_flags(config, flags);
+  if (flags.arms == 0) config.num_arms = 16;
+  config.strategy_size = flags.m;
+
+  print_header("Ablation A4: DFL-CSR exact vs lazy-greedy oracle",
+               "Greedy is (1-1/e)-approximate on the submodular coverage "
+               "objective; measures the regret cost of approximation.",
+               config);
+
+  ThreadPool pool;
+  const auto exact =
+      run_combinatorial_experiment(config, "dfl-csr", Scenario::kCsr, &pool);
+  const auto greedy = run_combinatorial_experiment(config, "dfl-csr-greedy",
+                                                   Scenario::kCsr, &pool);
+
+  std::cout << "series,t,accumulated_regret\n";
+  print_series_csv("exact", exact.accumulated_regret(), flags.csv_points);
+  print_series_csv("greedy", greedy.accumulated_regret(), flags.csv_points);
+  print_figure("A4 accumulated regret: exact vs greedy oracle",
+               {{"exact", exact.accumulated_regret()},
+                {"greedy", greedy.accumulated_regret()}},
+               "R_t", 1.0);
+  std::cout << "\nfinal cumulative regret: exact="
+            << exact.final_cumulative.mean() << " (+/-"
+            << exact.final_cumulative.ci95_halfwidth()
+            << ")  greedy=" << greedy.final_cumulative.mean() << " (+/-"
+            << greedy.final_cumulative.ci95_halfwidth() << ")\n"
+            << "(regret is against the exact optimum in both cases)\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// A7 — google-benchmark microbenchmarks: per-step CPU cost of every policy
+// (select + observe), plus the substrate hot paths (graph construction,
+// clique cover, strategy-graph build, oracle calls).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/policy_factory.hpp"
+#include "graph/clique_cover.hpp"
+#include "graph/generators.hpp"
+#include "strategy/oracle.hpp"
+#include "strategy/strategy_graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ncb;
+
+Graph bench_graph(std::size_t k, double p) {
+  Xoshiro256 rng(42);
+  return erdos_renyi(k, p, rng);
+}
+
+void BM_SinglePolicyStep(benchmark::State& state, const std::string& name) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph g = bench_graph(k, 0.3);
+  const auto policy = make_single_play_policy(name, 1 << 20, 7);
+  policy->reset(g);
+  Xoshiro256 rng(9);
+  std::vector<Observation> obs;
+  TimeSlot t = 0;
+  for (auto _ : state) {
+    ++t;
+    const ArmId a = policy->select(t);
+    obs.clear();
+    for (const ArmId j : g.closed_neighborhood(a)) obs.push_back({j, rng.uniform()});
+    policy->observe(a, t, obs);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CombinatorialPolicyStep(benchmark::State& state,
+                                const std::string& name) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto graph = std::make_shared<const Graph>(bench_graph(k, 0.3));
+  const auto family =
+      std::make_shared<const FeasibleSet>(make_subset_family(graph, 2));
+  const auto policy = make_combinatorial_policy(name, family, 7);
+  policy->reset();
+  Xoshiro256 rng(9);
+  std::vector<Observation> obs;
+  TimeSlot t = 0;
+  for (auto _ : state) {
+    ++t;
+    const StrategyId x = policy->select(t);
+    obs.clear();
+    for (const ArmId j : family->neighborhood(x)) obs.push_back({j, rng.uniform()});
+    policy->observe(x, t, obs);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const Graph g = erdos_renyi(k, 0.3, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+
+void BM_GreedyCliqueCover(benchmark::State& state) {
+  const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)), 0.3);
+  for (auto _ : state) {
+    const auto cover = greedy_clique_cover(g);
+    benchmark::DoNotOptimize(cover.size());
+  }
+}
+
+void BM_StrategyGraphBuild(benchmark::State& state) {
+  const auto graph = std::make_shared<const Graph>(
+      bench_graph(static_cast<std::size_t>(state.range(0)), 0.3));
+  const FeasibleSet family = make_subset_family(graph, 2);
+  for (auto _ : state) {
+    const Graph sg = build_strategy_graph(family);
+    benchmark::DoNotOptimize(sg.num_edges());
+  }
+}
+
+void BM_ExactCoverageOracle(benchmark::State& state) {
+  const auto graph = std::make_shared<const Graph>(
+      bench_graph(static_cast<std::size_t>(state.range(0)), 0.3));
+  const FeasibleSet family = make_subset_family(graph, 2);
+  const ExactCoverageOracle oracle;
+  std::vector<double> scores(graph->num_vertices());
+  Xoshiro256 rng(5);
+  for (auto& s : scores) s = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.select(family, scores));
+  }
+}
+
+void BM_GreedyCoverageOracle(benchmark::State& state) {
+  const auto graph = std::make_shared<const Graph>(
+      bench_graph(static_cast<std::size_t>(state.range(0)), 0.3));
+  const FeasibleSet family = make_subset_family(graph, 2);
+  const GreedyCoverageOracle oracle;
+  std::vector<double> scores(graph->num_vertices());
+  Xoshiro256 rng(5);
+  for (auto& s : scores) s = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.select(family, scores));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, dfl_sso, "dfl-sso")->Arg(100)->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, dfl_ssr, "dfl-ssr")->Arg(100)->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, dfl_ssr_meansum, "dfl-ssr-meansum")
+    ->Arg(100)
+    ->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, moss, "moss-anytime")->Arg(100)->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, ucb1, "ucb1")->Arg(100)->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, ucb_n, "ucb-n")->Arg(100)->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, thompson, "thompson")->Arg(100)->Arg(400);
+BENCHMARK_CAPTURE(BM_SinglePolicyStep, exp3, "exp3")->Arg(100)->Arg(400);
+
+BENCHMARK_CAPTURE(BM_CombinatorialPolicyStep, dfl_cso, "dfl-cso")->Arg(12)->Arg(20);
+BENCHMARK_CAPTURE(BM_CombinatorialPolicyStep, dfl_csr, "dfl-csr")->Arg(12)->Arg(20);
+BENCHMARK_CAPTURE(BM_CombinatorialPolicyStep, dfl_csr_greedy, "dfl-csr-greedy")
+    ->Arg(12)
+    ->Arg(20);
+BENCHMARK_CAPTURE(BM_CombinatorialPolicyStep, cucb, "cucb")->Arg(12)->Arg(20);
+
+BENCHMARK(BM_ErdosRenyi)->Arg(100)->Arg(400);
+BENCHMARK(BM_GreedyCliqueCover)->Arg(100)->Arg(400);
+BENCHMARK(BM_StrategyGraphBuild)->Arg(12)->Arg(20);
+BENCHMARK(BM_ExactCoverageOracle)->Arg(12)->Arg(20);
+BENCHMARK(BM_GreedyCoverageOracle)->Arg(12)->Arg(20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Scaling: DFL-SSO regret and wall time vs K at fixed horizon. Theorem 1
+// predicts R_n = O(sqrt(nK)); the table reports measured regret alongside
+// sqrt(K)-normalized regret (flat if the scaling holds) and the per-run
+// wall time (per-step cost is O(K + deg)).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncb;
+  using namespace ncb::bench;
+  CommonFlags flags = parse_common(argc, argv);
+  if (!flags.quick && flags.horizon > 5000) flags.horizon = 5000;
+  if (flags.reps > 10) flags.reps = 10;
+
+  std::cout << "==========================================================\n"
+               "Scaling: DFL-SSO vs K (ER p=0.3, n=" << flags.horizon << ")\n"
+               "==========================================================\n"
+               "K,final_cumulative_regret,ci95,regret_over_sqrt_nK,seconds\n";
+
+  ThreadPool pool;
+  for (const std::size_t k : {10u, 25u, 50u, 100u, 200u, 400u}) {
+    ExperimentConfig config = fig3_config();
+    apply_flags(config, flags);
+    config.num_arms = k;
+    Timer timer;
+    const auto result =
+        run_single_experiment(config, "dfl-sso", Scenario::kSso, &pool);
+    const double norm =
+        result.final_cumulative.mean() /
+        std::sqrt(static_cast<double>(config.horizon) * static_cast<double>(k));
+    std::cout << k << ',' << result.final_cumulative.mean() << ','
+              << result.final_cumulative.ci95_halfwidth() << ',' << norm << ','
+              << timer.elapsed_seconds() << '\n';
+  }
+  std::cout << "(regret_over_sqrt_nK stays O(1) if Theorem 1's scaling "
+               "holds; it typically *decreases* because denser absolute "
+               "neighborhoods mean more free observations per pull)\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// A5 — Theorem 1-4 bounds vs measured cumulative regret, one row per
+// figure. The bounds are worst-case and loose; the table documents by how
+// much, which EXPERIMENTS.md records.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/clique_cover.hpp"
+#include "graph/partition.hpp"
+#include "sim/thread_pool.hpp"
+#include "strategy/strategy_graph.hpp"
+#include "theory/bounds.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ncb;
+  using namespace ncb::bench;
+  CommonFlags flags = parse_common(argc, argv);
+  // Bounds comparison doesn't need many reps.
+  if (flags.reps > 8) flags.reps = 8;
+
+  std::cout << "==========================================================\n"
+               "Theory: Theorem 1-4 bounds vs measured cumulative regret\n"
+               "==========================================================\n"
+               "experiment,policy,n,measured_Rn,theoretical_bound,ratio\n";
+
+  ThreadPool pool;
+
+  {  // Theorem 1 / Fig 3.
+    ExperimentConfig config = fig3_config();
+    apply_flags(config, flags);
+    const auto result =
+        run_single_experiment(config, "dfl-sso", Scenario::kSso, &pool);
+    const auto instance = build_instance(config);
+    const auto part = threshold_partition(
+        instance.graph(), gaps_from_means(instance.means()),
+        default_delta0(config.num_arms, config.horizon));
+    const double bound = theorem1_bound(config.horizon, config.num_arms,
+                                        part.clique_cover_size());
+    std::cout << "fig3,dfl-sso," << config.horizon << ','
+              << result.final_cumulative.mean() << ',' << bound << ','
+              << result.final_cumulative.mean() / bound << '\n';
+  }
+
+  {  // Theorem 2 / Fig 4 (sparse).
+    ExperimentConfig config = fig4_config(false);
+    apply_flags(config, flags);
+    if (flags.arms == 0) config.num_arms = 20;
+    const auto result =
+        run_combinatorial_experiment(config, "dfl-cso", Scenario::kCso, &pool);
+    const auto instance = build_instance(config);
+    const auto family = build_family(config, instance.graph());
+    const Graph sg = build_strategy_graph(*family);
+    const double bound = theorem2_bound(config.horizon, family->size(),
+                                        greedy_clique_cover(sg).size());
+    std::cout << "fig4a,dfl-cso," << config.horizon << ','
+              << result.final_cumulative.mean() << ',' << bound << ','
+              << result.final_cumulative.mean() / bound << '\n';
+  }
+
+  {  // Theorem 3 / Fig 5.
+    ExperimentConfig config = fig5_config();
+    apply_flags(config, flags);
+    const auto result =
+        run_single_experiment(config, "dfl-ssr", Scenario::kSsr, &pool);
+    const double bound = theorem3_bound(config.horizon, config.num_arms);
+    std::cout << "fig5,dfl-ssr," << config.horizon << ','
+              << result.final_cumulative.mean() << ',' << bound << ','
+              << result.final_cumulative.mean() / bound << '\n';
+  }
+
+  {  // Theorem 4 / Fig 6.
+    ExperimentConfig config = fig6_config();
+    apply_flags(config, flags);
+    if (flags.arms == 0) config.num_arms = 20;
+    const auto result =
+        run_combinatorial_experiment(config, "dfl-csr", Scenario::kCsr, &pool);
+    const auto instance = build_instance(config);
+    const auto family = build_family(config, instance.graph());
+    const double bound = theorem4_bound(config.horizon, config.num_arms,
+                                        family->max_neighborhood_size());
+    std::cout << "fig6,dfl-csr," << config.horizon << ','
+              << result.final_cumulative.mean() << ',' << bound << ','
+              << result.final_cumulative.mean() / bound << '\n';
+  }
+
+  std::cout << "\n(bounds are worst-case: measured/bound << 1 is expected; "
+               "the point is the *scaling*, e.g. Thm 1's sqrt(nK))\n";
+  return 0;
+}

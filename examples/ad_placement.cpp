@@ -1,0 +1,92 @@
+// Online advertising (the paper's combinatorial-play motivation, §II):
+// a website can show at most M ads per page view. Ads are arms; the
+// relation graph links ads of the same product category — showing one ad
+// reveals click-through feedback for its related ads (users who ignore a
+// running-shoe ad tell you something about the other shoe ads).
+//
+// We compare DFL-CSO (Algorithm 2, exploits side observation across the
+// strategy relation graph) against CUCB (no side bonus) under CSO
+// semantics, with category-clustered ads.
+#include <iostream>
+
+#include "core/dfl_cso.hpp"
+#include "core/cucb.hpp"
+#include "graph/generators.hpp"
+#include "sim/replication.hpp"
+
+int main() {
+  using namespace ncb;
+
+  // 12 ads in 3 product categories of 4; same-category ads are related.
+  constexpr std::size_t kAds = 12, kCategories = 3, kSlotsPerPage = 2;
+  auto graph = std::make_shared<const Graph>(
+      disjoint_cliques(kCategories, kAds / kCategories));
+
+  // Click-through rates: category 2 hides the two best ads.
+  std::vector<double> ctr{0.04, 0.06, 0.05, 0.03,   // category 0
+                          0.08, 0.07, 0.06, 0.05,   // category 1
+                          0.02, 0.12, 0.11, 0.03};  // category 2
+  BanditInstance instance = bernoulli_instance(*graph, ctr);
+
+  // Feasible strategies: every set of at most M ads.
+  const auto family = std::make_shared<const FeasibleSet>(
+      make_subset_family(graph, kSlotsPerPage));
+  std::cout << "ad inventory: " << kAds << " ads, " << family->size()
+            << " feasible placements (M = " << kSlotsPerPage << ")\n";
+
+  ReplicationOptions options;
+  options.replications = 10;
+  options.runner.horizon = 8000;
+  ThreadPool pool;
+  options.pool = &pool;
+
+  const auto dfl = run_replicated_combinatorial(
+      [&](std::uint64_t seed) -> std::unique_ptr<CombinatorialPolicy> {
+        return std::make_unique<DflCso>(family, DflCsoOptions{.seed = seed});
+      },
+      instance, *family, Scenario::kCso, options);
+  const auto cucb = run_replicated_combinatorial(
+      [&](std::uint64_t seed) -> std::unique_ptr<CombinatorialPolicy> {
+        return std::make_unique<Cucb>(family, CucbOptions{.seed = seed});
+      },
+      instance, *family, Scenario::kCso, options);
+
+  std::cout << "optimal placement CTR sum (lambda*): " << dfl.optimal_per_slot
+            << "  (ads 9+10)\n"
+            << "cumulative missed clicks after " << options.runner.horizon
+            << " page views:\n"
+            << "  DFL-CSO (uses category feedback): "
+            << dfl.final_cumulative.mean() << " (+/-"
+            << dfl.final_cumulative.ci95_halfwidth() << ")\n"
+            << "  CUCB    (ignores it):             "
+            << cucb.final_cumulative.mean() << " (+/-"
+            << cucb.final_cumulative.ci95_halfwidth() << ")\n";
+  const double factor =
+      cucb.final_cumulative.mean() / std::max(dfl.final_cumulative.mean(), 1e-9);
+  std::cout << "side observation buys a " << factor << "x regret reduction\n";
+
+  // Variant: a diversity constraint — one page slot per category, at most
+  // one ad from each (a partition matroid over 3 slots). Pairing the two
+  // best ads {9,10} is now infeasible (same category); DFL-CSO learns the
+  // best diverse placement instead.
+  std::vector<int> categories(kAds);
+  for (std::size_t i = 0; i < kAds; ++i) {
+    categories[i] = static_cast<int>(i / (kAds / kCategories));
+  }
+  const auto diverse_family = std::make_shared<const FeasibleSet>(
+      make_partition_matroid_family(graph, categories, /*capacity=*/1));
+  std::cout << "\nwith a one-ad-per-category constraint: "
+            << diverse_family->size() << " feasible placements\n";
+  const auto diverse = run_replicated_combinatorial(
+      [&](std::uint64_t seed) -> std::unique_ptr<CombinatorialPolicy> {
+        return std::make_unique<DflCso>(diverse_family,
+                                        DflCsoOptions{.seed = seed});
+      },
+      instance, *diverse_family, Scenario::kCso, options);
+  std::cout << "best diverse placement CTR sum: " << diverse.optimal_per_slot
+            << " (vs unconstrained " << dfl.optimal_per_slot << ")\n"
+            << "DFL-CSO cumulative regret under the matroid constraint: "
+            << diverse.final_cumulative.mean() << " (+/-"
+            << diverse.final_cumulative.ci95_halfwidth() << ")\n";
+  return 0;
+}

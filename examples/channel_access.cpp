@@ -1,0 +1,77 @@
+// Opportunistic channel access in cognitive radio (one of the paper's §I
+// motivating applications): a secondary user probes one channel per slot;
+// spectrum sensing on adjacent channels comes for free (side observation),
+// because the radio's FFT window covers neighboring frequencies.
+//
+// Channels form a ring lattice with a few long-range correlations
+// (Watts–Strogatz); availability is Bernoulli. We compare DFL-SSO, UCB-N,
+// and MOSS under SSO semantics.
+#include <iomanip>
+#include <iostream>
+
+#include "core/dfl_sso.hpp"
+#include "core/moss.hpp"
+#include "core/ucb_n.hpp"
+#include "graph/generators.hpp"
+#include "sim/replication.hpp"
+
+int main() {
+  using namespace ncb;
+
+  // 32 channels; sensing a channel also senses its 2 neighbors per side,
+  // with 10% of adjacencies rewired to model cross-band interference.
+  Xoshiro256 rng(99);
+  Graph graph = watts_strogatz(32, 2, 0.1, rng);
+
+  // Channel availability: a quiet region around channels 20-25.
+  std::vector<double> availability(32);
+  for (std::size_t c = 0; c < 32; ++c) {
+    availability[c] = (c >= 20 && c <= 25) ? 0.85 - 0.02 * (c - 20)
+                                           : 0.25 + 0.3 * ((c * 7) % 10) / 10.0;
+  }
+  BanditInstance instance = bernoulli_instance(graph, availability);
+  std::cout << "best channel: " << instance.best_arm() << " (available "
+            << instance.best_mean() * 100 << "% of slots)\n";
+
+  ReplicationOptions options;
+  options.replications = 12;
+  options.runner.horizon = 8000;
+  ThreadPool pool;
+  options.pool = &pool;
+
+  struct Entry {
+    std::string name;
+    SinglePolicyFactory factory;
+  };
+  const std::vector<Entry> policies{
+      {"DFL-SSO",
+       [](std::uint64_t seed) -> std::unique_ptr<SinglePlayPolicy> {
+         return std::make_unique<DflSso>(DflSsoOptions{.seed = seed});
+       }},
+      {"UCB-N",
+       [](std::uint64_t seed) -> std::unique_ptr<SinglePlayPolicy> {
+         return std::make_unique<UcbN>(UcbNOptions{.seed = seed});
+       }},
+      {"MOSS",
+       [&](std::uint64_t seed) -> std::unique_ptr<SinglePlayPolicy> {
+         return std::make_unique<Moss>(
+             MossOptions{.horizon = options.runner.horizon, .seed = seed});
+       }},
+  };
+
+  std::cout << "\nmissed transmission opportunities over "
+            << options.runner.horizon << " slots:\n";
+  for (const auto& entry : policies) {
+    const auto result = run_replicated_single(entry.factory, instance,
+                                              Scenario::kSso, options);
+    std::cout << "  " << std::setw(8) << std::left << entry.name << std::right
+              << " cumulative regret = " << std::setw(8)
+              << result.final_cumulative.mean() << "  (R_n/n = "
+              << result.final_cumulative.mean() /
+                     static_cast<double>(options.runner.horizon)
+              << ")\n";
+  }
+  std::cout << "\nfree adjacent-channel sensing (DFL-SSO, UCB-N) beats "
+               "probe-only learning (MOSS).\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// CLI playground: run any policy on any graph family under any scenario.
+//
+//   ./policy_comparison --scenario=sso --policy=dfl-sso --arms=50 --p=0.4
+//   ./policy_comparison --scenario=csr --policy=dfl-csr --arms=15 --m=2
+//   ./policy_comparison --scenario=cso --family=is --arms=12   # Fig 2 style
+//   ./policy_comparison --list
+//
+// Flags: --scenario {sso,ssr,cso,csr}, --policy NAME (repeatable via comma
+// list), --arms K, --p density, --m strategy size, --family {subsets,is},
+// --horizon N, --reps R, --graph {er,complete,empty,star,cycle,cliques,
+// ba,ws}, --seed S.
+#include <iostream>
+#include <sstream>
+
+#include "core/policy_factory.hpp"
+#include "sim/experiment.hpp"
+#include "util/arg_parse.hpp"
+#include "util/ascii_plot.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ncb;
+  const ArgParse args(argc, argv);
+
+  if (args.has("list")) {
+    std::cout << "single-play policies:";
+    for (const auto& n : single_play_policy_names()) std::cout << ' ' << n;
+    std::cout << "\ncombinatorial policies:";
+    for (const auto& n : combinatorial_policy_names()) std::cout << ' ' << n;
+    std::cout << "\nscenarios: sso ssr cso csr\n";
+    return 0;
+  }
+
+  const std::string scenario_text = args.get_string("scenario", "sso");
+  Scenario scenario = Scenario::kSso;
+  if (scenario_text == "ssr") scenario = Scenario::kSsr;
+  else if (scenario_text == "cso") scenario = Scenario::kCso;
+  else if (scenario_text == "csr") scenario = Scenario::kCsr;
+  else if (scenario_text != "sso") {
+    std::cerr << "unknown scenario: " << scenario_text << '\n';
+    return 1;
+  }
+
+  ExperimentConfig config;
+  config.name = "policy-comparison";
+  config.num_arms = static_cast<std::size_t>(
+      args.get_int("arms", is_combinatorial(scenario) ? 15 : 50));
+  config.edge_probability = args.get_double("p", 0.3);
+  config.horizon = args.get_int("horizon", 5000);
+  config.replications = static_cast<std::size_t>(args.get_int("reps", 10));
+  config.strategy_size = static_cast<std::size_t>(args.get_int("m", 2));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20170605));
+
+  const std::string graph_text = args.get_string("graph", "er");
+  if (graph_text == "complete") config.graph_family = GraphFamily::kComplete;
+  else if (graph_text == "empty") config.graph_family = GraphFamily::kEmpty;
+  else if (graph_text == "star") config.graph_family = GraphFamily::kStar;
+  else if (graph_text == "cycle") config.graph_family = GraphFamily::kCycle;
+  else if (graph_text == "cliques") {
+    config.graph_family = GraphFamily::kDisjointCliques;
+    config.family_param = 5;
+  } else if (graph_text == "ba") {
+    config.graph_family = GraphFamily::kBarabasiAlbert;
+    config.family_param = 2;
+  } else if (graph_text == "ws") {
+    config.graph_family = GraphFamily::kWattsStrogatz;
+    config.family_param = 2;
+  }
+
+  const std::string default_policy =
+      is_combinatorial(scenario) ? "dfl-cso" : "dfl-sso";
+  const auto policies = split_csv(args.get_string("policy", default_policy));
+
+  std::cout << config.describe() << "  scenario=" << scenario_name(scenario)
+            << '\n';
+
+  // Optional independent-set family (the paper's Fig. 2 setting) instead of
+  // the default ≤M-subset family.
+  const bool use_is_family = args.get_string("family", "subsets") == "is";
+  std::shared_ptr<const FeasibleSet> family;
+  BanditInstance instance = build_instance(config);
+  if (is_combinatorial(scenario)) {
+    if (use_is_family) {
+      family = std::make_shared<const FeasibleSet>(make_independent_set_family(
+          std::make_shared<const Graph>(instance.graph()),
+          config.strategy_size));
+    } else {
+      family = build_family(config, instance.graph());
+    }
+    std::cout << "feasible family: " << (use_is_family ? "independent sets"
+                                                       : "subsets")
+              << ", |F| = " << family->size() << '\n';
+  }
+
+  std::cout << "\npolicy,final_cumulative_regret,ci95,final_avg_regret\n";
+  ThreadPool pool;
+  std::vector<PlotSeries> figure;
+  for (const auto& policy : policies) {
+    ReplicationOptions ro;
+    ro.replications = config.replications;
+    ro.master_seed = config.seed;
+    ro.runner.horizon = config.horizon;
+    ro.pool = &pool;
+    const ReplicatedResult result =
+        is_combinatorial(scenario)
+            ? run_replicated_combinatorial(
+                  [&](std::uint64_t seed) {
+                    return make_combinatorial_policy(policy, family, seed);
+                  },
+                  instance, *family, scenario, ro)
+            : run_replicated_single(
+                  [&](std::uint64_t seed) {
+                    return make_single_play_policy(policy, config.horizon, seed);
+                  },
+                  instance, scenario, ro);
+    std::cout << policy << ',' << result.final_cumulative.mean() << ','
+              << result.final_cumulative.ci95_halfwidth() << ','
+              << result.final_cumulative.mean() /
+                     static_cast<double>(config.horizon)
+              << '\n';
+    figure.push_back({policy, result.accumulated_regret()});
+  }
+
+  PlotOptions opts;
+  opts.title = "accumulated regret";
+  opts.y_zero = true;
+  opts.height = 14;
+  for (auto& s : figure) s.values = downsample(s.values, 72);
+  std::cout << '\n' << render_plot(figure, opts);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Social-network product recommendation (the paper's side-reward
+// motivation, §I-II): promoting a product to a user also influences her
+// friends' purchases, so the realized reward of picking user i is the sum
+// over the closed friend-neighborhood N_i. The right target is the user
+// with the most valuable *neighborhood* (u_i = Σ_{j∈N_i} μ_j), not the most
+// valuable individual — a hub with an average conversion rate can beat a
+// high-converting loner.
+//
+// The friendship graph is Barabási–Albert (heavy-tailed degrees, like real
+// social networks); DFL-SSR (Algorithm 3) learns where to seed promotions.
+#include <iostream>
+
+#include "core/dfl_ssr.hpp"
+#include "core/moss.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "sim/replication.hpp"
+
+int main() {
+  using namespace ncb;
+
+  // 60 users, preferential attachment: a few hubs, many leaves.
+  Xoshiro256 rng(2017);
+  Graph graph = barabasi_albert(60, 2, rng);
+  std::cout << "friendship graph: " << compute_metrics(graph).to_string()
+            << '\n';
+
+  // Conversion probabilities uniform in [0, 0.5].
+  BanditInstance instance =
+      random_bernoulli_instance(std::move(graph), rng, 0.0, 0.5);
+  std::cout << "best individual converter: user " << instance.best_arm()
+            << " (mu = " << instance.best_mean() << ")\n"
+            << "best neighborhood seed:    user "
+            << instance.best_side_reward_arm()
+            << " (u = " << instance.best_side_reward_mean()
+            << " expected purchases/slot)\n";
+
+  ReplicationOptions options;
+  options.replications = 10;
+  options.runner.horizon = 10000;
+  ThreadPool pool;
+  options.pool = &pool;
+
+  // DFL-SSR targets neighborhood value; MOSS chases individual conversions
+  // and is structurally blind to the hub effect (run under the same SSR
+  // payout to make the comparison fair).
+  const auto ssr = run_replicated_single(
+      [](std::uint64_t seed) -> std::unique_ptr<SinglePlayPolicy> {
+        return std::make_unique<DflSsr>(DflSsrOptions{.seed = seed});
+      },
+      instance, Scenario::kSsr, options);
+  const auto moss = run_replicated_single(
+      [&](std::uint64_t seed) -> std::unique_ptr<SinglePlayPolicy> {
+        return std::make_unique<Moss>(
+            MossOptions{.horizon = options.runner.horizon, .seed = seed});
+      },
+      instance, Scenario::kSsr, options);
+
+  std::cout << "cumulative missed purchases after "
+            << options.runner.horizon << " campaigns:\n"
+            << "  DFL-SSR (targets u_i):  " << ssr.final_cumulative.mean()
+            << " (+/-" << ssr.final_cumulative.ci95_halfwidth() << ")\n"
+            << "  MOSS    (targets mu_i): " << moss.final_cumulative.mean()
+            << " (+/-" << moss.final_cumulative.ci95_halfwidth() << ")\n"
+            << "average regret per campaign (DFL-SSR): "
+            << ssr.final_cumulative.mean() /
+                   static_cast<double>(options.runner.horizon)
+            << " -> approaches 0 (zero-regret)\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Per-arm sufficient statistics shared by the index policies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ncb {
+
+/// Count + incremental mean for one arm (or com-arm). The update matches the
+/// paper's line "X̄ ← X/O + (1 − 1/O)·X̄" with O the post-increment count.
+struct ArmStat {
+  std::int64_t count = 0;
+  double mean = 0.0;
+
+  void add(double value) noexcept {
+    ++count;
+    mean += (value - mean) / static_cast<double>(count);
+  }
+
+  void clear() noexcept {
+    count = 0;
+    mean = 0.0;
+  }
+};
+
+/// Resets a vector of stats to `size` cleared entries.
+inline void reset_stats(std::vector<ArmStat>& stats, std::size_t size) {
+  stats.assign(size, ArmStat{});
+}
+
+}  // namespace ncb

@@ -1,0 +1,51 @@
+#include "core/cucb.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "strategy/oracle.hpp"
+
+namespace ncb {
+
+Cucb::Cucb(std::shared_ptr<const FeasibleSet> family, CucbOptions options)
+    : family_(std::move(family)), options_(options), rng_(options.seed) {
+  if (!family_) throw std::invalid_argument("Cucb: null family");
+  reset();
+}
+
+void Cucb::reset() {
+  reset_stats(stats_, family_->graph().num_vertices());
+  scores_.assign(stats_.size(), 0.0);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double Cucb::arm_index(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return 1e6;  // force coverage of unplayed arms
+  const double bonus =
+      std::sqrt(options_.exploration *
+                std::log(std::max<double>(static_cast<double>(t), 1.0)) /
+                static_cast<double>(s.count));
+  return s.mean + bonus;
+}
+
+StrategyId Cucb::select(TimeSlot t) {
+  for (std::size_t i = 0; i < scores_.size(); ++i) {
+    scores_[i] = arm_index(static_cast<ArmId>(i), t);
+  }
+  return argmax_modular(*family_, scores_);
+}
+
+void Cucb::observe(StrategyId played, TimeSlot /*t*/,
+                   const std::vector<Observation>& observations) {
+  // No side bonus: consume only the component arms of the played strategy.
+  const Bitset64& bits = family_->strategy_bits(played);
+  for (const auto& obs : observations) {
+    if (bits.test(static_cast<std::size_t>(obs.arm))) {
+      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+    }
+  }
+}
+
+}  // namespace ncb

@@ -1,0 +1,99 @@
+#include "core/dfl_cso.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "strategy/strategy_graph.hpp"
+#include "util/math.hpp"
+
+namespace ncb {
+
+DflCso::DflCso(std::shared_ptr<const FeasibleSet> family, DflCsoOptions options)
+    : family_(std::move(family)), options_(options), rng_(options.seed) {
+  if (!family_) throw std::invalid_argument("DflCso: null family");
+  const auto count = static_cast<StrategyId>(family_->size());
+  update_lists_.resize(family_->size());
+  if (options_.scope == CsoUpdateScope::kStrategyGraph) {
+    const Graph sg = build_strategy_graph(*family_);
+    for (StrategyId x = 0; x < count; ++x) {
+      update_lists_[static_cast<std::size_t>(x)] =
+          std::vector<StrategyId>(sg.closed_neighborhood(x).begin(),
+                                  sg.closed_neighborhood(x).end());
+    }
+  } else {
+    for (StrategyId x = 0; x < count; ++x) {
+      update_lists_[static_cast<std::size_t>(x)] =
+          observable_strategies(*family_, x);
+    }
+  }
+  reset();
+}
+
+void DflCso::reset() {
+  reset_stats(stats_, family_->size());
+  scratch_rewards_.assign(family_->graph().num_vertices(), 0.0);
+  scratch_stamp_.assign(family_->graph().num_vertices(), -1);
+  epoch_ = 0;
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double DflCso::index(StrategyId x, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(x));
+  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const double ratio = static_cast<double>(t) /
+                       (static_cast<double>(family_->size()) *
+                        static_cast<double>(s.count));
+  return s.mean + exploration_width(ratio, static_cast<double>(s.count));
+}
+
+StrategyId DflCso::select(TimeSlot t) {
+  StrategyId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family_->size()); ++x) {
+    const double idx = index(x, t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = x;
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = x;
+    }
+  }
+  return best;
+}
+
+void DflCso::observe(StrategyId played, TimeSlot /*t*/,
+                     const std::vector<Observation>& observations) {
+  // Stage the arm values; observations normally cover Y_played, and every
+  // com-arm in the update list has all component arms inside Y_played. When
+  // feedback is unreliable (dropped side observations), a com-arm whose
+  // component arms were not all revealed this slot is skipped rather than
+  // updated with stale values.
+  ++epoch_;
+  for (const auto& obs : observations) {
+    scratch_rewards_.at(static_cast<std::size_t>(obs.arm)) = obs.value;
+    scratch_stamp_.at(static_cast<std::size_t>(obs.arm)) = epoch_;
+  }
+  for (const StrategyId y : update_lists_.at(static_cast<std::size_t>(played))) {
+    double reward = 0.0;
+    bool complete = true;
+    for (const ArmId i : family_->strategy(y)) {
+      if (scratch_stamp_[static_cast<std::size_t>(i)] != epoch_) {
+        complete = false;
+        break;
+      }
+      reward += scratch_rewards_[static_cast<std::size_t>(i)];
+    }
+    if (complete) stats_[static_cast<std::size_t>(y)].add(reward);
+  }
+}
+
+std::string DflCso::name() const {
+  return options_.scope == CsoUpdateScope::kStrategyGraph
+             ? "DFL-CSO"
+             : "DFL-CSO(all-observable)";
+}
+
+}  // namespace ncb

@@ -1,0 +1,59 @@
+#include "core/dfl_csr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ncb {
+
+DflCsr::DflCsr(std::shared_ptr<const FeasibleSet> family,
+               std::shared_ptr<const CoverageOracle> oracle,
+               DflCsrOptions options)
+    : family_(std::move(family)),
+      oracle_(oracle ? std::move(oracle)
+                     : std::make_shared<const ExactCoverageOracle>()),
+      options_(options),
+      rng_(options.seed) {
+  if (!family_) throw std::invalid_argument("DflCsr: null family");
+  reset();
+}
+
+void DflCsr::reset() {
+  reset_stats(stats_, family_->graph().num_vertices());
+  scores_.assign(stats_.size(), 0.0);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double DflCsr::arm_score(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return options_.unobserved_score;
+  // ln(t^{2/3} / (K·O_i)) clipped at zero, per Equation (47).
+  const double k = static_cast<double>(stats_.size());
+  const double ratio =
+      std::pow(static_cast<double>(t), 2.0 / 3.0) /
+      (k * static_cast<double>(s.count));
+  return s.mean + exploration_width(ratio, static_cast<double>(s.count));
+}
+
+StrategyId DflCsr::select(TimeSlot t) {
+  for (std::size_t i = 0; i < scores_.size(); ++i) {
+    scores_[i] = arm_score(static_cast<ArmId>(i), t);
+  }
+  return oracle_->select(*family_, scores_);
+}
+
+void DflCsr::observe(StrategyId /*played*/, TimeSlot /*t*/,
+                     const std::vector<Observation>& observations) {
+  // Observations cover Y_x; update every revealed arm (pseudocode line
+  // "for k ∈ Y_x").
+  for (const auto& obs : observations) {
+    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+  }
+}
+
+std::string DflCsr::name() const {
+  return oracle_->name() == "exact" ? "DFL-CSR" : "DFL-CSR(greedy)";
+}
+
+}  // namespace ncb

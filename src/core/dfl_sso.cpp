@@ -1,0 +1,75 @@
+#include "core/dfl_sso.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ncb {
+
+DflSso::DflSso(DflSsoOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void DflSso::reset(const Graph& graph) {
+  graph_ = graph;
+  num_arms_ = graph.num_vertices();
+  reset_stats(stats_, num_arms_);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double DflSso::index(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const double ratio = static_cast<double>(t) /
+                       (static_cast<double>(num_arms_) *
+                        static_cast<double>(s.count));
+  return s.mean + options_.exploration_scale *
+                      exploration_width(ratio, static_cast<double>(s.count));
+}
+
+ArmId DflSso::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("DflSso: reset() not called");
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      // Reservoir-style uniform tie-breaking.
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  if (options_.neighbor_greedy) {
+    // Play the empirically best arm inside N_{I_t} (§IX heuristic). The
+    // closed neighborhood always contains `best` itself.
+    ArmId play = best;
+    double play_mean = stats_[static_cast<std::size_t>(best)].mean;
+    for (const ArmId j : graph_.closed_neighborhood(best)) {
+      const ArmStat& s = stats_[static_cast<std::size_t>(j)];
+      if (s.count > 0 && s.mean > play_mean) {
+        play = j;
+        play_mean = s.mean;
+      }
+    }
+    return play;
+  }
+  return best;
+}
+
+void DflSso::observe(ArmId /*played*/, TimeSlot /*t*/,
+                     const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+  }
+}
+
+std::string DflSso::name() const {
+  return options_.neighbor_greedy ? "DFL-SSO+greedy" : "DFL-SSO";
+}
+
+}  // namespace ncb

@@ -1,0 +1,96 @@
+#include "core/dfl_ssr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ncb {
+
+DflSsr::DflSsr(DflSsrOptions options) : options_(options), rng_(options.seed) {}
+
+void DflSsr::reset(const Graph& graph) {
+  graph_ = graph;
+  num_arms_ = graph.num_vertices();
+  reset_stats(direct_, num_arms_);
+  prefix_sums_.assign(num_arms_, {});
+  if (options_.estimator == SsrEstimator::kPaired) {
+    for (auto& ps : prefix_sums_) ps.reserve(64);
+  }
+  rng_ = Xoshiro256(options_.seed);
+}
+
+std::int64_t DflSsr::side_observation_count(ArmId i) const {
+  std::int64_t ob = std::numeric_limits<std::int64_t>::max();
+  for (const ArmId j : graph_.closed_neighborhood(i)) {
+    ob = std::min(ob, direct_[static_cast<std::size_t>(j)].count);
+  }
+  return ob;
+}
+
+double DflSsr::side_reward_estimate(ArmId i) const {
+  if (options_.estimator == SsrEstimator::kMeanSum) {
+    double total = 0.0;
+    for (const ArmId j : graph_.closed_neighborhood(i)) {
+      total += direct_[static_cast<std::size_t>(j)].mean;
+    }
+    return total;
+  }
+  // Paired: average of the first Ob_i paired sums, which equals the sum of
+  // each neighbor's mean over its first Ob_i observations.
+  const std::int64_t ob = side_observation_count(i);
+  if (ob == 0) return 0.0;
+  double total = 0.0;
+  for (const ArmId j : graph_.closed_neighborhood(i)) {
+    total += prefix_sums_[static_cast<std::size_t>(j)][static_cast<std::size_t>(ob - 1)];
+  }
+  return total / static_cast<double>(ob);
+}
+
+double DflSsr::index(ArmId i, TimeSlot t) const {
+  const std::int64_t ob = side_observation_count(i);
+  if (ob == 0) return std::numeric_limits<double>::infinity();
+  const double ratio = static_cast<double>(t) /
+                       (static_cast<double>(num_arms_) * static_cast<double>(ob));
+  return side_reward_estimate(i) +
+         exploration_width(ratio, static_cast<double>(ob));
+}
+
+ArmId DflSsr::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("DflSsr: reset() not called");
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void DflSsr::observe(ArmId /*played*/, TimeSlot /*t*/,
+                     const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    const auto i = static_cast<std::size_t>(obs.arm);
+    direct_[i].add(obs.value);
+    if (options_.estimator == SsrEstimator::kPaired) {
+      const double prev = prefix_sums_[i].empty() ? 0.0 : prefix_sums_[i].back();
+      prefix_sums_[i].push_back(prev + obs.value);
+    }
+  }
+}
+
+std::string DflSsr::name() const {
+  return options_.estimator == SsrEstimator::kPaired ? "DFL-SSR"
+                                                     : "DFL-SSR(mean-sum)";
+}
+
+}  // namespace ncb

@@ -1,0 +1,69 @@
+#include "core/epsilon_greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ncb {
+
+EpsilonGreedy::EpsilonGreedy(EpsilonGreedyOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options.epsilon < 0.0 || options.epsilon > 1.0) {
+    throw std::invalid_argument("EpsilonGreedy: epsilon outside [0,1]");
+  }
+}
+
+void EpsilonGreedy::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  reset_stats(stats_, num_arms_);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double EpsilonGreedy::epsilon_at(TimeSlot t) const {
+  if (!options_.decay) return options_.epsilon;
+  const double eps = options_.c * static_cast<double>(num_arms_) /
+                     (options_.d * options_.d * static_cast<double>(std::max<TimeSlot>(t, 1)));
+  return std::min(1.0, eps);
+}
+
+ArmId EpsilonGreedy::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("EpsilonGreedy: reset() not called");
+  // Explore unvisited arms first so the greedy step has data.
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    if (stats_[i].count == 0) return static_cast<ArmId>(i);
+  }
+  if (rng_.bernoulli(epsilon_at(t))) {
+    return static_cast<ArmId>(rng_.uniform_int(num_arms_));
+  }
+  ArmId best = 0;
+  double best_mean = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    if (stats_[i].mean > best_mean) {
+      best_mean = stats_[i].mean;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (stats_[i].mean == best_mean) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void EpsilonGreedy::observe(ArmId played, TimeSlot /*t*/,
+                            const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    if (options_.use_side_observations || obs.arm == played) {
+      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+    }
+  }
+}
+
+std::string EpsilonGreedy::name() const {
+  std::string base = options_.decay ? "eps-greedy-decay" : "eps-greedy";
+  if (options_.use_side_observations) base += "+side";
+  return base;
+}
+
+}  // namespace ncb

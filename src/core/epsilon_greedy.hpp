@@ -1,0 +1,41 @@
+// ε-greedy with optional 1/t decay (Auer et al.'s ε_t = min(1, cK/(d²t))).
+// Sanity baseline; consumes side observations when `use_side_observations`.
+#pragma once
+
+#include <vector>
+
+#include "core/arm_stats.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct EpsilonGreedyOptions {
+  double epsilon = 0.1;    ///< Exploration probability (fixed mode).
+  bool decay = false;      ///< ε_t = min(1, c·K/(d²·t)) when true.
+  double c = 5.0;          ///< Decay numerator constant.
+  double d = 0.1;          ///< Decay gap parameter.
+  bool use_side_observations = false;
+  std::uint64_t seed = 0x5eede605;
+};
+
+class EpsilonGreedy final : public SinglePlayPolicy {
+ public:
+  explicit EpsilonGreedy(EpsilonGreedyOptions options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double epsilon_at(TimeSlot t) const;
+
+ private:
+  EpsilonGreedyOptions options_;
+  std::size_t num_arms_ = 0;
+  std::vector<ArmStat> stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

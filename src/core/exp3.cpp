@@ -1,0 +1,63 @@
+#include "core/exp3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncb {
+
+Exp3::Exp3(Exp3Options options) : options_(options), rng_(options.seed) {
+  if (options.gamma <= 0.0 || options.gamma > 1.0) {
+    throw std::invalid_argument("Exp3: gamma outside (0,1]");
+  }
+}
+
+void Exp3::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  log_weights_.assign(num_arms_, 0.0);
+  probs_.assign(num_arms_, 1.0 / static_cast<double>(num_arms_));
+  rng_ = Xoshiro256(options_.seed);
+}
+
+void Exp3::recompute_probabilities() {
+  // Normalize in log space for numerical stability.
+  const double max_lw = *std::max_element(log_weights_.begin(), log_weights_.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    probs_[i] = std::exp(log_weights_[i] - max_lw);
+    total += probs_[i];
+  }
+  const double k = static_cast<double>(num_arms_);
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    probs_[i] = (1.0 - options_.gamma) * probs_[i] / total + options_.gamma / k;
+  }
+}
+
+ArmId Exp3::select(TimeSlot /*t*/) {
+  if (num_arms_ == 0) throw std::logic_error("Exp3: reset() not called");
+  recompute_probabilities();
+  double u = rng_.uniform();
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    u -= probs_[i];
+    if (u <= 0.0) return static_cast<ArmId>(i);
+  }
+  return static_cast<ArmId>(num_arms_ - 1);
+}
+
+void Exp3::observe(ArmId played, TimeSlot /*t*/,
+                   const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    if (obs.arm != played) continue;
+    const auto i = static_cast<std::size_t>(played);
+    const double estimated = obs.value / std::max(probs_[i], 1e-12);
+    log_weights_[i] += options_.gamma * estimated / static_cast<double>(num_arms_);
+    return;
+  }
+  throw std::logic_error("Exp3: played arm missing from observations");
+}
+
+double Exp3::probability(ArmId i) const {
+  return probs_.at(static_cast<std::size_t>(i));
+}
+
+}  // namespace ncb

@@ -1,0 +1,42 @@
+// Exp3 (Auer et al. 2002b): exponential weighting for adversarial bandits.
+// Included as an ablation baseline — it makes no use of the stochastic
+// structure or side observations, so the stochastic index policies should
+// dominate it on the paper's workloads.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct Exp3Options {
+  /// Exploration mix γ ∈ (0, 1].
+  double gamma = 0.05;
+  std::uint64_t seed = 0x5eede3b3;
+};
+
+class Exp3 final : public SinglePlayPolicy {
+ public:
+  explicit Exp3(Exp3Options options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override { return "Exp3"; }
+
+  [[nodiscard]] double probability(ArmId i) const;
+
+ private:
+  void recompute_probabilities();
+
+  Exp3Options options_;
+  std::size_t num_arms_ = 0;
+  std::vector<double> log_weights_;
+  std::vector<double> probs_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

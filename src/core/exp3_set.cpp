@@ -1,0 +1,72 @@
+#include "core/exp3_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncb {
+
+Exp3Set::Exp3Set(Exp3SetOptions options) : options_(options), rng_(options.seed) {
+  if (options.eta <= 0.0) {
+    throw std::invalid_argument("Exp3Set: eta must be positive");
+  }
+}
+
+void Exp3Set::reset(const Graph& graph) {
+  graph_ = graph;
+  num_arms_ = graph.num_vertices();
+  log_weights_.assign(num_arms_, 0.0);
+  probs_.assign(num_arms_, 1.0 / static_cast<double>(num_arms_));
+  rng_ = Xoshiro256(options_.seed);
+}
+
+void Exp3Set::recompute_probabilities() {
+  const double max_lw =
+      *std::max_element(log_weights_.begin(), log_weights_.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    probs_[i] = std::exp(log_weights_[i] - max_lw);
+    total += probs_[i];
+  }
+  for (std::size_t i = 0; i < num_arms_; ++i) probs_[i] /= total;
+}
+
+double Exp3Set::observation_probability(ArmId i) const {
+  // q_i = Σ_{j : i ∈ N_j} p_j — the probability arm i's reward is revealed
+  // this slot. With closed neighborhoods this is Σ over N_i (symmetry).
+  double q = 0.0;
+  for (const ArmId j : graph_.closed_neighborhood(i)) {
+    q += probs_[static_cast<std::size_t>(j)];
+  }
+  return q;
+}
+
+ArmId Exp3Set::select(TimeSlot /*t*/) {
+  if (num_arms_ == 0) throw std::logic_error("Exp3Set: reset() not called");
+  recompute_probabilities();
+  double u = rng_.uniform();
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    u -= probs_[i];
+    if (u <= 0.0) return static_cast<ArmId>(i);
+  }
+  return static_cast<ArmId>(num_arms_ - 1);
+}
+
+void Exp3Set::observe(ArmId /*played*/, TimeSlot /*t*/,
+                      const std::vector<Observation>& observations) {
+  // Exp3-SET (Alon et al. 2013): every *observed* arm gets an importance-
+  // weighted loss update with its observation probability q_i, not the play
+  // probability. Rewards r ∈ [0,1] become losses (1 - r).
+  for (const auto& obs : observations) {
+    const auto i = static_cast<std::size_t>(obs.arm);
+    const double q = std::max(observation_probability(obs.arm), 1e-12);
+    const double estimated_loss = (1.0 - obs.value) / q;
+    log_weights_[i] -= options_.eta * estimated_loss;
+  }
+}
+
+double Exp3Set::probability(ArmId i) const {
+  return probs_.at(static_cast<std::size_t>(i));
+}
+
+}  // namespace ncb

@@ -1,0 +1,87 @@
+#include "core/kl_ucb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ncb {
+
+KlUcb::KlUcb(KlUcbOptions options) : options_(options), rng_(options.seed) {}
+
+void KlUcb::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  reset_stats(stats_, num_arms_);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double KlUcb::bernoulli_kl(double p, double q) noexcept {
+  constexpr double kEps = 1e-15;
+  p = std::clamp(p, kEps, 1.0 - kEps);
+  q = std::clamp(q, kEps, 1.0 - kEps);
+  return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+}
+
+double KlUcb::kl_upper_bound(double p, double count, double budget) noexcept {
+  if (count <= 0.0) return 1.0;
+  const double limit = budget / count;
+  double lo = std::clamp(p, 0.0, 1.0);
+  double hi = 1.0;
+  for (int iter = 0; iter < 64 && hi - lo > 1e-9; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (bernoulli_kl(p, mid) <= limit) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double KlUcb::index(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const double lt = std::log(std::max<double>(static_cast<double>(t), 1.0));
+  const double llt =
+      options_.c > 0.0 ? options_.c * std::log(std::max(lt, 1.0)) : 0.0;
+  return kl_upper_bound(s.mean, static_cast<double>(s.count), lt + llt);
+}
+
+ArmId KlUcb::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("KlUcb: reset() not called");
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void KlUcb::observe(ArmId played, TimeSlot /*t*/,
+                    const std::vector<Observation>& observations) {
+  bool saw_played = false;
+  for (const auto& obs : observations) {
+    if (options_.use_side_observations || obs.arm == played) {
+      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+    }
+    saw_played = saw_played || obs.arm == played;
+  }
+  if (!saw_played) {
+    throw std::logic_error("KlUcb: played arm missing from observations");
+  }
+}
+
+std::string KlUcb::name() const {
+  return options_.use_side_observations ? "KL-UCB-N" : "KL-UCB";
+}
+
+}  // namespace ncb

@@ -1,0 +1,55 @@
+// KL-UCB (Garivier & Cappé 2011): the strongest classical stochastic
+// baseline for bounded rewards. Index = max{ q ≥ X̄_i :
+// T_i · kl(X̄_i, q) ≤ ln t + c·ln ln t }, solved by bisection on the
+// Bernoulli KL divergence. Distribution-dependent and asymptotically
+// optimal for Bernoulli arms; the A8 panel ranks it against the
+// distribution-free DFL policies. Optionally consumes side observations
+// (a KL analogue of UCB-N).
+#pragma once
+
+#include <vector>
+
+#include "core/arm_stats.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct KlUcbOptions {
+  /// The `c` in ln t + c·ln ln t; 0 is the common practical choice,
+  /// 3 the theoretical one.
+  double c = 0.0;
+  bool use_side_observations = false;
+  std::uint64_t seed = 0x5eedc1cb;
+};
+
+class KlUcb final : public SinglePlayPolicy {
+ public:
+  explicit KlUcb(KlUcbOptions options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] std::int64_t observation_count(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).count;
+  }
+
+  /// Bernoulli KL divergence kl(p, q) with the usual 0·log 0 conventions.
+  [[nodiscard]] static double bernoulli_kl(double p, double q) noexcept;
+
+  /// Upper KL confidence bound: max{q ∈ [p, 1] : kl(p, q) ≤ budget/count}.
+  [[nodiscard]] static double kl_upper_bound(double p, double count,
+                                             double budget) noexcept;
+
+ private:
+  KlUcbOptions options_;
+  std::size_t num_arms_ = 0;
+  std::vector<ArmStat> stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

@@ -1,0 +1,63 @@
+#include "core/moss.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ncb {
+
+Moss::Moss(MossOptions options) : options_(options), rng_(options.seed) {}
+
+void Moss::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  reset_stats(stats_, num_arms_);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double Moss::index(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const double top = options_.horizon > 0 ? static_cast<double>(options_.horizon)
+                                          : static_cast<double>(t);
+  const double ratio = top / (static_cast<double>(num_arms_) *
+                              static_cast<double>(s.count));
+  return s.mean + exploration_width(ratio, static_cast<double>(s.count));
+}
+
+ArmId Moss::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("Moss: reset() not called");
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void Moss::observe(ArmId played, TimeSlot /*t*/,
+                   const std::vector<Observation>& observations) {
+  // MOSS has no side information: consume only the played arm's sample.
+  for (const auto& obs : observations) {
+    if (obs.arm == played) {
+      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+      return;
+    }
+  }
+  throw std::logic_error("Moss: played arm missing from observations");
+}
+
+std::string Moss::name() const {
+  return options_.horizon > 0 ? "MOSS" : "MOSS-anytime";
+}
+
+}  // namespace ncb

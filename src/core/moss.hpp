@@ -1,0 +1,49 @@
+// MOSS (Minimax Optimal Strategy in the Stochastic case, Audibert & Bubeck).
+//
+// The paper's Fig. 3 baseline and the skeleton of DFL-SSO: identical index
+// shape, but MOSS only learns from the arm it plays (no side observations).
+// Fixed-horizon form uses sqrt(log⁺(n/(K·T_i))/T_i); the anytime form
+// substitutes t for n, matching Algorithm 1's index exactly when the
+// relation graph is empty.
+#pragma once
+
+#include <vector>
+
+#include "core/arm_stats.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct MossOptions {
+  /// Known horizon n; 0 selects the anytime variant (ratio uses t).
+  TimeSlot horizon = 0;
+  std::uint64_t seed = 0x5eedA055;
+};
+
+class Moss final : public SinglePlayPolicy {
+ public:
+  explicit Moss(MossOptions options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::int64_t play_count(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).count;
+  }
+  [[nodiscard]] double empirical_mean(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).mean;
+  }
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+
+ private:
+  MossOptions options_;
+  std::size_t num_arms_ = 0;
+  std::vector<ArmStat> stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

@@ -1,0 +1,160 @@
+#include "core/nonstationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ncb {
+
+SwDflSso::SwDflSso(SwDflSsoOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options.window <= 0) {
+    throw std::invalid_argument("SwDflSso: window must be positive");
+  }
+}
+
+void SwDflSso::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  samples_.clear();
+  counts_.assign(num_arms_, 0);
+  sums_.assign(num_arms_, 0.0);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+void SwDflSso::evict_older_than(TimeSlot cutoff) {
+  while (!samples_.empty() && samples_.front().slot <= cutoff) {
+    const Sample& s = samples_.front();
+    --counts_[static_cast<std::size_t>(s.arm)];
+    sums_[static_cast<std::size_t>(s.arm)] -= s.value;
+    samples_.pop_front();
+  }
+}
+
+double SwDflSso::window_mean(ArmId i) const {
+  const auto idx = static_cast<std::size_t>(i);
+  return counts_[idx] > 0 ? sums_[idx] / static_cast<double>(counts_[idx])
+                          : 0.0;
+}
+
+double SwDflSso::index(ArmId i, TimeSlot t) const {
+  const auto count = static_cast<double>(counts_.at(static_cast<std::size_t>(i)));
+  if (count <= 0.0) return std::numeric_limits<double>::infinity();
+  // The effective horizon inside the window is min(t, window).
+  const double effective_t =
+      static_cast<double>(std::min<TimeSlot>(t, options_.window));
+  const double ratio = effective_t / (static_cast<double>(num_arms_) * count);
+  return window_mean(i) + exploration_width(ratio, count);
+}
+
+ArmId SwDflSso::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("SwDflSso: reset() not called");
+  evict_older_than(t - options_.window);
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void SwDflSso::observe(ArmId /*played*/, TimeSlot t,
+                       const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    samples_.push_back({t, obs.arm, obs.value});
+    ++counts_[static_cast<std::size_t>(obs.arm)];
+    sums_[static_cast<std::size_t>(obs.arm)] += obs.value;
+  }
+  evict_older_than(t - options_.window);
+}
+
+std::string SwDflSso::name() const {
+  std::ostringstream out;
+  out << "SW-DFL-SSO(w=" << options_.window << ")";
+  return out.str();
+}
+
+DiscountedDflSso::DiscountedDflSso(DiscountedDflSsoOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options.discount <= 0.0 || options.discount > 1.0) {
+    throw std::invalid_argument("DiscountedDflSso: discount outside (0,1]");
+  }
+}
+
+void DiscountedDflSso::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  counts_.assign(num_arms_, 0.0);
+  sums_.assign(num_arms_, 0.0);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double DiscountedDflSso::discounted_mean(ArmId i) const {
+  const auto idx = static_cast<std::size_t>(i);
+  return counts_[idx] > 1e-12 ? sums_[idx] / counts_[idx] : 0.0;
+}
+
+double DiscountedDflSso::index(ArmId i, TimeSlot t) const {
+  const double count = counts_.at(static_cast<std::size_t>(i));
+  if (count <= 1e-12) return std::numeric_limits<double>::infinity();
+  // Effective horizon under discounting: 1/(1-γ) once saturated.
+  const double effective_t =
+      options_.discount < 1.0
+          ? std::min(static_cast<double>(t), 1.0 / (1.0 - options_.discount))
+          : static_cast<double>(t);
+  const double ratio = effective_t / (static_cast<double>(num_arms_) * count);
+  return discounted_mean(i) + exploration_width(ratio, count);
+}
+
+ArmId DiscountedDflSso::select(TimeSlot t) {
+  if (num_arms_ == 0) {
+    throw std::logic_error("DiscountedDflSso: reset() not called");
+  }
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void DiscountedDflSso::observe(ArmId /*played*/, TimeSlot /*t*/,
+                               const std::vector<Observation>& observations) {
+  // One decay step per slot, then absorb the new samples at full weight.
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    counts_[i] *= options_.discount;
+    sums_[i] *= options_.discount;
+  }
+  for (const auto& obs : observations) {
+    counts_[static_cast<std::size_t>(obs.arm)] += 1.0;
+    sums_[static_cast<std::size_t>(obs.arm)] += obs.value;
+  }
+}
+
+std::string DiscountedDflSso::name() const {
+  std::ostringstream out;
+  out << "D-DFL-SSO(g=" << options_.discount << ")";
+  return out.str();
+}
+
+}  // namespace ncb

@@ -1,0 +1,65 @@
+// Policy interfaces for the four scenarios (paper §II).
+//
+// The simulation runner mediates all feedback: after a policy selects an arm
+// (or com-arm), the runner hands it every (arm, value) pair its scenario
+// legitimately reveals — N_i under side observation/reward, Y_x under
+// combinatorial play, or just the played arm(s) for no-side baselines run
+// in a side-observation world (they simply ignore the extras they choose
+// not to consume).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace ncb {
+
+/// One revealed sample: arm j's reward X_{j,t} at the current slot.
+struct Observation {
+  ArmId arm = kNoArm;
+  double value = 0.0;
+};
+
+/// Single-play decision maker: picks one arm per slot.
+class SinglePlayPolicy {
+ public:
+  virtual ~SinglePlayPolicy() = default;
+
+  /// Re-initializes all learning state for a fresh run over `graph`.
+  /// Must be called before the first `select`.
+  virtual void reset(const Graph& graph) = 0;
+
+  /// Chooses the arm for slot `t` (t = 1, 2, ...).
+  [[nodiscard]] virtual ArmId select(TimeSlot t) = 0;
+
+  /// Delivers the slot's feedback. `played` is the arm returned by select;
+  /// `observations` holds every revealed (arm, value) pair, always including
+  /// the played arm itself.
+  virtual void observe(ArmId played, TimeSlot t,
+                       const std::vector<Observation>& observations) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Combinatorial-play decision maker: picks one feasible strategy per slot.
+/// The feasible set is fixed at construction by each implementation.
+class CombinatorialPolicy {
+ public:
+  virtual ~CombinatorialPolicy() = default;
+
+  /// Re-initializes all learning state for a fresh run.
+  virtual void reset() = 0;
+
+  /// Chooses the strategy for slot `t` (t = 1, 2, ...).
+  [[nodiscard]] virtual StrategyId select(TimeSlot t) = 0;
+
+  /// Delivers arm-level feedback covering the scenario's observed set.
+  virtual void observe(StrategyId played, TimeSlot t,
+                       const std::vector<Observation>& observations) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace ncb

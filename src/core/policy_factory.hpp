@@ -1,0 +1,34 @@
+// Name-based construction of policies for the bench/example CLI layer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "strategy/feasible_set.hpp"
+
+namespace ncb {
+
+/// Builds a single-play policy by name. Recognized names: "dfl-sso",
+/// "dfl-sso-greedy", "dfl-ssr", "dfl-ssr-meansum", "moss" (fixed horizon),
+/// "moss-anytime", "ucb1", "ucb-n", "ucb-maxn", "kl-ucb", "kl-ucb-n",
+/// "eps-greedy", "eps-greedy-side", "thompson", "thompson-side", "exp3",
+/// "random".
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<SinglePlayPolicy> make_single_play_policy(
+    const std::string& name, TimeSlot horizon, std::uint64_t seed);
+
+/// Builds a combinatorial policy by name: "dfl-cso", "dfl-cso-observable",
+/// "dfl-csr", "dfl-csr-greedy", "cucb".
+[[nodiscard]] std::unique_ptr<CombinatorialPolicy> make_combinatorial_policy(
+    const std::string& name, std::shared_ptr<const FeasibleSet> family,
+    std::uint64_t seed);
+
+/// All recognized single-play policy names.
+[[nodiscard]] std::vector<std::string> single_play_policy_names();
+
+/// All recognized combinatorial policy names.
+[[nodiscard]] std::vector<std::string> combinatorial_policy_names();
+
+}  // namespace ncb

@@ -1,0 +1,32 @@
+// Uniform-random arm selection: the regret floor nothing should lose to.
+#pragma once
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+class RandomPolicy final : public SinglePlayPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 0x5eed4a2d) : seed_(seed), rng_(seed) {}
+
+  void reset(const Graph& graph) override {
+    num_arms_ = graph.num_vertices();
+    rng_ = Xoshiro256(seed_);
+  }
+
+  [[nodiscard]] ArmId select(TimeSlot /*t*/) override {
+    return static_cast<ArmId>(rng_.uniform_int(num_arms_));
+  }
+
+  void observe(ArmId, TimeSlot, const std::vector<Observation>&) override {}
+
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t num_arms_ = 1;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

@@ -1,0 +1,61 @@
+#include "core/thompson.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ncb {
+
+ThompsonSampling::ThompsonSampling(ThompsonOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options.prior_alpha <= 0.0 || options.prior_beta <= 0.0) {
+    throw std::invalid_argument("ThompsonSampling: prior must be positive");
+  }
+}
+
+void ThompsonSampling::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  alpha_.assign(num_arms_, options_.prior_alpha);
+  beta_.assign(num_arms_, options_.prior_beta);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+ArmId ThompsonSampling::select(TimeSlot /*t*/) {
+  if (num_arms_ == 0) {
+    throw std::logic_error("ThompsonSampling: reset() not called");
+  }
+  ArmId best = 0;
+  double best_draw = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double draw = rng_.beta(alpha_[i], beta_[i]);
+    if (draw > best_draw) {
+      best_draw = draw;
+      best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void ThompsonSampling::observe(ArmId played, TimeSlot /*t*/,
+                               const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    if (!options_.use_side_observations && obs.arm != played) continue;
+    const auto i = static_cast<std::size_t>(obs.arm);
+    // Binarize [0,1] rewards into posterior pseudo-counts.
+    if (rng_.bernoulli(obs.value)) {
+      alpha_[i] += 1.0;
+    } else {
+      beta_[i] += 1.0;
+    }
+  }
+}
+
+double ThompsonSampling::posterior_mean(ArmId i) const {
+  const auto idx = static_cast<std::size_t>(i);
+  return alpha_.at(idx) / (alpha_.at(idx) + beta_.at(idx));
+}
+
+std::string ThompsonSampling::name() const {
+  return options_.use_side_observations ? "Thompson+side" : "Thompson";
+}
+
+}  // namespace ncb

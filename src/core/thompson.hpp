@@ -1,0 +1,42 @@
+// Thompson sampling with Beta-Bernoulli posteriors. General [0,1] rewards
+// are handled by the standard binarization trick (Agrawal & Goyal): a reward
+// r updates the posterior with a Bernoulli(r) coin flip. Side observations
+// are consumed when `use_side_observations` (giving a Thompson analogue of
+// UCB-N for the baseline panel).
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct ThompsonOptions {
+  double prior_alpha = 1.0;
+  double prior_beta = 1.0;
+  bool use_side_observations = false;
+  std::uint64_t seed = 0x5eed7503;
+};
+
+class ThompsonSampling final : public SinglePlayPolicy {
+ public:
+  explicit ThompsonSampling(ThompsonOptions options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double posterior_mean(ArmId i) const;
+
+ private:
+  ThompsonOptions options_;
+  std::size_t num_arms_ = 0;
+  std::vector<double> alpha_;
+  std::vector<double> beta_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

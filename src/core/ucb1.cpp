@@ -1,0 +1,56 @@
+#include "core/ucb1.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ncb {
+
+Ucb1::Ucb1(Ucb1Options options) : options_(options), rng_(options.seed) {}
+
+void Ucb1::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  reset_stats(stats_, num_arms_);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double Ucb1::index(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const double bonus = std::sqrt(options_.exploration *
+                                 std::log(std::max<double>(static_cast<double>(t), 1.0)) /
+                                 static_cast<double>(s.count));
+  return s.mean + bonus;
+}
+
+ArmId Ucb1::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("Ucb1: reset() not called");
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return best;
+}
+
+void Ucb1::observe(ArmId played, TimeSlot /*t*/,
+                   const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    if (obs.arm == played) {
+      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+      return;
+    }
+  }
+  throw std::logic_error("Ucb1: played arm missing from observations");
+}
+
+}  // namespace ncb

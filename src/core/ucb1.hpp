@@ -1,0 +1,42 @@
+// UCB1 (Auer, Cesa-Bianchi & Fischer 2002): the classical index policy,
+// X̄_i + sqrt(2 ln t / T_i). Distribution-dependent baseline without side
+// information.
+#pragma once
+
+#include <vector>
+
+#include "core/arm_stats.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct Ucb1Options {
+  /// Exploration scale; 2.0 is the textbook constant.
+  double exploration = 2.0;
+  std::uint64_t seed = 0x5eed0cb1;
+};
+
+class Ucb1 final : public SinglePlayPolicy {
+ public:
+  explicit Ucb1(Ucb1Options options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override { return "UCB1"; }
+
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] std::int64_t play_count(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).count;
+  }
+
+ private:
+  Ucb1Options options_;
+  std::size_t num_arms_ = 0;
+  std::vector<ArmStat> stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

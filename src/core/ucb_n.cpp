@@ -1,0 +1,68 @@
+#include "core/ucb_n.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ncb {
+
+UcbN::UcbN(UcbNOptions options) : options_(options), rng_(options.seed) {}
+
+void UcbN::reset(const Graph& graph) {
+  graph_ = graph;
+  num_arms_ = graph.num_vertices();
+  reset_stats(stats_, num_arms_);
+  rng_ = Xoshiro256(options_.seed);
+}
+
+double UcbN::index(ArmId i, TimeSlot t) const {
+  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
+  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const double bonus = std::sqrt(options_.exploration *
+                                 std::log(std::max<double>(static_cast<double>(t), 1.0)) /
+                                 static_cast<double>(s.count));
+  return s.mean + bonus;
+}
+
+ArmId UcbN::select(TimeSlot t) {
+  if (num_arms_ == 0) throw std::logic_error("UcbN: reset() not called");
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  if (!options_.max_variant) return best;
+  // UCB-MaxN: play the best empirical arm among N_{best}.
+  ArmId play = best;
+  double play_mean = stats_[static_cast<std::size_t>(best)].mean;
+  for (const ArmId j : graph_.closed_neighborhood(best)) {
+    const ArmStat& s = stats_[static_cast<std::size_t>(j)];
+    if (s.count > 0 && s.mean > play_mean) {
+      play = j;
+      play_mean = s.mean;
+    }
+  }
+  return play;
+}
+
+void UcbN::observe(ArmId /*played*/, TimeSlot /*t*/,
+                   const std::vector<Observation>& observations) {
+  for (const auto& obs : observations) {
+    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+  }
+}
+
+std::string UcbN::name() const {
+  return options_.max_variant ? "UCB-MaxN" : "UCB-N";
+}
+
+}  // namespace ncb

@@ -1,0 +1,48 @@
+// UCB-N and UCB-MaxN (Caron, Kveton, Lelarge & Bhagat 2012): the prior
+// side-observation policies the paper's §VIII contrasts against. Both use
+// the UCB1 index over *observation* counts (side observations included);
+// UCB-MaxN then plays the empirically best arm within the chosen arm's
+// closed neighborhood. Their regret bounds are distribution-dependent
+// (they degrade as Δ_min → 0), which is the gap DFL-SSO closes.
+#pragma once
+
+#include <vector>
+
+#include "core/arm_stats.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+struct UcbNOptions {
+  double exploration = 2.0;
+  /// false → UCB-N (play the argmax-index arm); true → UCB-MaxN (play the
+  /// best empirical arm inside the argmax arm's closed neighborhood).
+  bool max_variant = false;
+  std::uint64_t seed = 0x5eed0cbe;
+};
+
+class UcbN final : public SinglePlayPolicy {
+ public:
+  explicit UcbN(UcbNOptions options = {});
+
+  void reset(const Graph& graph) override;
+  [[nodiscard]] ArmId select(TimeSlot t) override;
+  void observe(ArmId played, TimeSlot t,
+               const std::vector<Observation>& observations) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] std::int64_t observation_count(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).count;
+  }
+
+ private:
+  UcbNOptions options_;
+  Graph graph_{0};  // copied at reset(); no external lifetime requirement
+  std::size_t num_arms_ = 0;
+  std::vector<ArmStat> stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ncb

@@ -1,0 +1,118 @@
+#include "env/distribution.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace ncb {
+namespace {
+
+void require_01(double v, const char* what) {
+  if (v < 0.0 || v > 1.0 || std::isnan(v)) {
+    throw std::invalid_argument(std::string(what) + " must lie in [0,1]");
+  }
+}
+
+double phi(double x) { return std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI); }
+double Phi(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+BernoulliDist::BernoulliDist(double p) : p_(p) { require_01(p, "Bernoulli p"); }
+
+double BernoulliDist::sample(Xoshiro256& rng) const {
+  return rng.bernoulli(p_) ? 1.0 : 0.0;
+}
+
+DistributionPtr BernoulliDist::clone() const {
+  return std::make_unique<BernoulliDist>(*this);
+}
+
+std::string BernoulliDist::name() const {
+  std::ostringstream out;
+  out << "Bernoulli(" << p_ << ")";
+  return out.str();
+}
+
+BetaDist::BetaDist(double a, double b) : a_(a), b_(b) {
+  if (a <= 0.0 || b <= 0.0) {
+    throw std::invalid_argument("Beta parameters must be positive");
+  }
+}
+
+double BetaDist::sample(Xoshiro256& rng) const { return rng.beta(a_, b_); }
+
+DistributionPtr BetaDist::clone() const {
+  return std::make_unique<BetaDist>(*this);
+}
+
+std::string BetaDist::name() const {
+  std::ostringstream out;
+  out << "Beta(" << a_ << "," << b_ << ")";
+  return out.str();
+}
+
+UniformDist::UniformDist(double lo, double hi) : lo_(lo), hi_(hi) {
+  require_01(lo, "Uniform lo");
+  require_01(hi, "Uniform hi");
+  if (lo > hi) throw std::invalid_argument("Uniform: lo > hi");
+}
+
+double UniformDist::sample(Xoshiro256& rng) const {
+  return rng.uniform(lo_, hi_);
+}
+
+DistributionPtr UniformDist::clone() const {
+  return std::make_unique<UniformDist>(*this);
+}
+
+std::string UniformDist::name() const {
+  std::ostringstream out;
+  out << "Uniform(" << lo_ << "," << hi_ << ")";
+  return out.str();
+}
+
+ClippedGaussianDist::ClippedGaussianDist(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0.0) throw std::invalid_argument("ClippedGaussian: sigma <= 0");
+  // E[clip(X,0,1)] = 0*P(X<0) + 1*P(X>1) + E[X; 0<=X<=1]
+  const double a = (0.0 - mu) / sigma;
+  const double b = (1.0 - mu) / sigma;
+  const double mass_mid = Phi(b) - Phi(a);
+  const double mid_mean = mu * mass_mid - sigma * (phi(b) - phi(a));
+  clipped_mean_ = (1.0 - Phi(b)) + mid_mean;
+}
+
+double ClippedGaussianDist::sample(Xoshiro256& rng) const {
+  return clamp01(rng.gaussian(mu_, sigma_));
+}
+
+DistributionPtr ClippedGaussianDist::clone() const {
+  return std::make_unique<ClippedGaussianDist>(*this);
+}
+
+std::string ClippedGaussianDist::name() const {
+  std::ostringstream out;
+  out << "ClippedGaussian(" << mu_ << "," << sigma_ << ")";
+  return out.str();
+}
+
+ConstantDist::ConstantDist(double value) : value_(value) {
+  require_01(value, "Constant value");
+}
+
+double ConstantDist::sample(Xoshiro256& /*rng*/) const { return value_; }
+
+DistributionPtr ConstantDist::clone() const {
+  return std::make_unique<ConstantDist>(*this);
+}
+
+std::string ConstantDist::name() const {
+  std::ostringstream out;
+  out << "Constant(" << value_ << ")";
+  return out.str();
+}
+
+}  // namespace ncb

@@ -1,0 +1,59 @@
+// The stochastic environment: draws the i.i.d. reward row X_{·,t} once per
+// time slot. Policies never see this object directly — the simulation runner
+// mediates feedback per scenario semantics, so a policy can only learn what
+// its scenario legitimately observes.
+#pragma once
+
+#include <vector>
+
+#include "env/instance.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ncb {
+
+class Environment {
+ public:
+  /// Copies the instance; the environment owns its RNG stream so replications
+  /// with distinct seeds are independent.
+  Environment(BanditInstance instance, std::uint64_t seed);
+
+  /// Advances to the next time slot and draws X_{i,t} for every arm.
+  /// Returns the drawn row (valid until the next call).
+  const std::vector<double>& advance();
+
+  /// Current slot's reward row (last `advance()` result).
+  [[nodiscard]] const std::vector<double>& rewards() const noexcept {
+    return rewards_;
+  }
+
+  /// Number of completed `advance()` calls.
+  [[nodiscard]] TimeSlot slots_drawn() const noexcept { return slot_; }
+
+  [[nodiscard]] const BanditInstance& instance() const noexcept {
+    return instance_;
+  }
+  [[nodiscard]] const Graph& graph() const noexcept {
+    return instance_.graph();
+  }
+  [[nodiscard]] std::size_t num_arms() const noexcept {
+    return instance_.num_arms();
+  }
+
+  /// Realized direct reward of a strategy at the current slot: Σ_{i∈s} X_i.
+  [[nodiscard]] double strategy_reward(const ArmSet& strategy) const;
+
+  /// Realized side reward of an arm: B_i = Σ_{j∈N_i} X_j.
+  [[nodiscard]] double side_reward(ArmId arm) const;
+
+  /// Realized combinatorial side reward: CB_x = Σ_{j∈Y_x} X_j.
+  [[nodiscard]] double strategy_side_reward(const ArmSet& strategy) const;
+
+ private:
+  BanditInstance instance_;
+  Xoshiro256 rng_;
+  std::vector<double> rewards_;
+  TimeSlot slot_ = 0;
+};
+
+}  // namespace ncb

@@ -1,0 +1,138 @@
+#include "env/io.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncb {
+namespace {
+
+/// Emits one "<kind> <params...>" line at full round-trip precision.
+std::string distribution_line(const Distribution& dist) {
+  std::ostringstream out;
+  out << dist.kind();
+  out.precision(17);
+  for (const double p : dist.params()) out << ' ' << p;
+  return out.str();
+}
+
+DistributionPtr parse_distribution(const std::string& line,
+                                   std::size_t line_no) {
+  std::istringstream fields(line);
+  std::string kind;
+  fields >> kind;
+  const auto fail = [&](const char* what) -> DistributionPtr {
+    throw std::invalid_argument("instance: " + std::string(what) +
+                                " at line " + std::to_string(line_no));
+  };
+  if (kind == "bernoulli") {
+    double p;
+    if (!(fields >> p)) return fail("bernoulli needs p");
+    return std::make_unique<BernoulliDist>(p);
+  }
+  if (kind == "beta") {
+    double a, b;
+    if (!(fields >> a >> b)) return fail("beta needs a b");
+    return std::make_unique<BetaDist>(a, b);
+  }
+  if (kind == "uniform") {
+    double lo, hi;
+    if (!(fields >> lo >> hi)) return fail("uniform needs lo hi");
+    return std::make_unique<UniformDist>(lo, hi);
+  }
+  if (kind == "gaussian") {
+    double mu, sigma;
+    if (!(fields >> mu >> sigma)) return fail("gaussian needs mu sigma");
+    return std::make_unique<ClippedGaussianDist>(mu, sigma);
+  }
+  if (kind == "constant") {
+    double v;
+    if (!(fields >> v)) return fail("constant needs v");
+    return std::make_unique<ConstantDist>(v);
+  }
+  return fail("unknown distribution kind");
+}
+
+/// Strips comments; returns false for effectively blank lines.
+bool clean_line(std::string& line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  return line.find_first_not_of(" \t\r") != std::string::npos;
+}
+
+}  // namespace
+
+std::string to_text(const BanditInstance& instance) {
+  std::ostringstream out;
+  out << "ncb-instance v1\n";
+  const Graph& g = instance.graph();
+  out << "graph " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+  out << "arms " << instance.num_arms() << '\n';
+  for (std::size_t i = 0; i < instance.num_arms(); ++i) {
+    out << distribution_line(instance.arm(static_cast<ArmId>(i))) << '\n';
+  }
+  return out.str();
+}
+
+BanditInstance read_instance(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (clean_line(line)) return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line.rfind("ncb-instance", 0) != 0) {
+    throw std::invalid_argument("instance: missing 'ncb-instance' header");
+  }
+  if (!next_line()) throw std::invalid_argument("instance: missing graph line");
+  std::size_t v = 0, e = 0;
+  {
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag >> v >> e) || tag != "graph") {
+      throw std::invalid_argument("instance: malformed graph line");
+    }
+  }
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < e; ++i) {
+    if (!next_line()) throw std::invalid_argument("instance: truncated edges");
+    std::istringstream fields(line);
+    long a = 0, b = 0;
+    if (!(fields >> a >> b)) {
+      throw std::invalid_argument("instance: malformed edge at line " +
+                                  std::to_string(line_no));
+    }
+    edges.emplace_back(static_cast<ArmId>(a), static_cast<ArmId>(b));
+  }
+  if (!next_line()) throw std::invalid_argument("instance: missing arms line");
+  std::size_t k = 0;
+  {
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag >> k) || tag != "arms") {
+      throw std::invalid_argument("instance: malformed arms line");
+    }
+  }
+  if (k != v) {
+    throw std::invalid_argument("instance: arm count must match vertex count");
+  }
+  std::vector<DistributionPtr> arms;
+  arms.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!next_line()) throw std::invalid_argument("instance: truncated arms");
+    arms.push_back(parse_distribution(line, line_no));
+  }
+  return BanditInstance(Graph(v, edges), std::move(arms));
+}
+
+BanditInstance parse_instance(const std::string& text) {
+  std::istringstream in(text);
+  return read_instance(in);
+}
+
+}  // namespace ncb

@@ -1,0 +1,34 @@
+// BanditInstance serialization: a text format capturing the relation graph
+// and every arm's distribution, so experiment instances can be archived and
+// replayed exactly.
+//
+// Format:
+//   ncb-instance v1
+//   graph <V> <E>
+//   <u> <v>            (E edge lines)
+//   arms <K>
+//   <distribution>     (K lines: "bernoulli p" | "beta a b" |
+//                       "uniform lo hi" | "gaussian mu sigma" |
+//                       "constant v")
+// Comments (# ...) and blank lines are ignored when parsing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "env/instance.hpp"
+
+namespace ncb {
+
+/// Serializes the instance. Throws std::invalid_argument for distribution
+/// types the format does not cover (none currently — all concrete types in
+/// distribution.hpp are supported via name round-tripping).
+[[nodiscard]] std::string to_text(const BanditInstance& instance);
+
+/// Parses the text format; throws std::invalid_argument on malformed input.
+[[nodiscard]] BanditInstance parse_instance(const std::string& text);
+
+/// Stream variant of parse_instance.
+[[nodiscard]] BanditInstance read_instance(std::istream& in);
+
+}  // namespace ncb

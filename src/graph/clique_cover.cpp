@@ -1,0 +1,133 @@
+#include "graph/clique_cover.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace ncb {
+namespace {
+
+/// Greedy cover following the given vertex order: each vertex joins the
+/// first existing clique it is adjacent to in full, else starts a new one.
+CliqueCover greedy_cover_in_order(const Graph& g,
+                                  const std::vector<ArmId>& order) {
+  CliqueCover cover;
+  std::vector<Bitset64> clique_bits;  // parallel to cover
+  for (const ArmId v : order) {
+    bool placed = false;
+    for (std::size_t c = 0; c < cover.size(); ++c) {
+      // v must be adjacent to every member: clique_bits[c] ⊆ adj(v).
+      if (clique_bits[c].is_subset_of(g.neighbors_bits(v))) {
+        cover[c].push_back(v);
+        clique_bits[c].set(static_cast<std::size_t>(v));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      cover.push_back({v});
+      Bitset64 bits(g.num_vertices());
+      bits.set(static_cast<std::size_t>(v));
+      clique_bits.push_back(std::move(bits));
+    }
+  }
+  for (auto& clique : cover) std::sort(clique.begin(), clique.end());
+  return cover;
+}
+
+}  // namespace
+
+CliqueCover greedy_clique_cover(const Graph& g) {
+  std::vector<ArmId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](ArmId a, ArmId b) {
+    const auto da = g.degree(a), db = g.degree(b);
+    return da != db ? da > db : a < b;
+  });
+  return greedy_cover_in_order(g, order);
+}
+
+CliqueCover randomized_clique_cover(const Graph& g, int restarts,
+                                    Xoshiro256& rng) {
+  CliqueCover best = greedy_clique_cover(g);
+  std::vector<ArmId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  for (int r = 0; r < restarts; ++r) {
+    shuffle(order, rng);
+    CliqueCover candidate = greedy_cover_in_order(g, order);
+    if (candidate.size() < best.size()) best = std::move(candidate);
+  }
+  return best;
+}
+
+namespace {
+
+/// Tries to partition vertices of g into at most `k` cliques by
+/// backtracking. `assignment[v]` is the clique id or -1.
+bool try_cover(const Graph& g, std::size_t k, std::size_t v,
+               std::vector<int>& assignment,
+               std::vector<Bitset64>& clique_bits, std::size_t used) {
+  if (v == g.num_vertices()) return true;
+  const auto vid = static_cast<ArmId>(v);
+  for (std::size_t c = 0; c < used; ++c) {
+    if (clique_bits[c].is_subset_of(g.neighbors_bits(vid))) {
+      assignment[v] = static_cast<int>(c);
+      clique_bits[c].set(v);
+      if (try_cover(g, k, v + 1, assignment, clique_bits, used)) return true;
+      clique_bits[c].reset(v);
+      assignment[v] = -1;
+    }
+  }
+  if (used < k) {
+    assignment[v] = static_cast<int>(used);
+    clique_bits[used].set(v);
+    if (try_cover(g, k, v + 1, assignment, clique_bits, used + 1)) return true;
+    clique_bits[used].reset(v);
+    assignment[v] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+CliqueCover exact_clique_cover(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return {};
+  if (n > 24) {
+    throw std::invalid_argument("exact_clique_cover: graph too large (>24)");
+  }
+  const CliqueCover greedy = greedy_clique_cover(g);
+  for (std::size_t k = 1; k <= greedy.size(); ++k) {
+    std::vector<int> assignment(n, -1);
+    std::vector<Bitset64> clique_bits(k, Bitset64(n));
+    if (try_cover(g, k, 0, assignment, clique_bits, 0)) {
+      CliqueCover cover(k);
+      for (std::size_t v = 0; v < n; ++v) {
+        cover[static_cast<std::size_t>(assignment[v])].push_back(
+            static_cast<ArmId>(v));
+      }
+      // Backtracking may leave trailing empty cliques unused; drop them.
+      cover.erase(std::remove_if(cover.begin(), cover.end(),
+                                 [](const ArmSet& c) { return c.empty(); }),
+                  cover.end());
+      return cover;
+    }
+  }
+  return greedy;  // unreachable: greedy itself covers with greedy.size()
+}
+
+bool is_valid_clique_cover(const Graph& g, const CliqueCover& cover) {
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (const auto& clique : cover) {
+    if (clique.empty()) return false;
+    if (!g.is_clique(clique)) return false;
+    for (const ArmId v : clique) {
+      if (v < 0 || static_cast<std::size_t>(v) >= g.num_vertices()) return false;
+      if (seen[static_cast<std::size_t>(v)]) return false;
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+}  // namespace ncb

@@ -1,0 +1,38 @@
+// Clique covers (paper §III, Theorem 1).
+//
+// The regret bound of DFL-SSO carries a 0.74·C·sqrt(n/K) term where C is the
+// size of a clique cover of the thresholded subgraph H. Minimum clique cover
+// is NP-hard; we provide the standard greedy (equivalent to greedy coloring
+// of the complement), plus an exact branch-and-bound for small graphs used
+// in tests and the A2 ablation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+/// A clique cover: disjoint cliques whose union is all vertices.
+using CliqueCover = std::vector<ArmSet>;
+
+/// Greedy clique cover in a fixed vertex order (descending degree).
+/// O(V * E). Every returned set is a clique; sets partition the vertices.
+[[nodiscard]] CliqueCover greedy_clique_cover(const Graph& g);
+
+/// Greedy clique cover with `restarts` random vertex orders, keeping the
+/// smallest cover found.
+[[nodiscard]] CliqueCover randomized_clique_cover(const Graph& g,
+                                                  int restarts,
+                                                  Xoshiro256& rng);
+
+/// Exact minimum clique cover via exhaustive search on the complement's
+/// chromatic number. Exponential; intended for |V| <= ~20 (tests only).
+[[nodiscard]] CliqueCover exact_clique_cover(const Graph& g);
+
+/// Validates that `cover` is a partition of V(g) into cliques.
+[[nodiscard]] bool is_valid_clique_cover(const Graph& g,
+                                         const CliqueCover& cover);
+
+}  // namespace ncb

@@ -1,0 +1,163 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ncb {
+
+Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p outside [0,1]");
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(p)) {
+        edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
+      }
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph complete_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph empty_graph(std::size_t n) { return Graph(n); }
+
+Graph star_graph(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("star_graph: n must be positive");
+  std::vector<Edge> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.emplace_back(0, static_cast<ArmId>(i));
+  }
+  return Graph(n, edges);
+}
+
+Graph path_graph(std::size_t n) {
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(i + 1));
+  }
+  return Graph(n, edges);
+}
+
+Graph cycle_graph(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("cycle_graph: need n >= 3");
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>((i + 1) % n));
+  }
+  return Graph(n, edges);
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<ArmId>(r * cols + c);
+  };
+  std::vector<Edge> edges;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, edges);
+}
+
+Graph disjoint_cliques(std::size_t num_cliques, std::size_t clique_size) {
+  std::vector<Edge> edges;
+  for (std::size_t c = 0; c < num_cliques; ++c) {
+    const std::size_t base = c * clique_size;
+    for (std::size_t i = 0; i < clique_size; ++i) {
+      for (std::size_t j = i + 1; j < clique_size; ++j) {
+        edges.emplace_back(static_cast<ArmId>(base + i),
+                           static_cast<ArmId>(base + j));
+      }
+    }
+  }
+  return Graph(num_cliques * clique_size, edges);
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach_edges,
+                      Xoshiro256& rng) {
+  if (attach_edges == 0 || n < attach_edges) {
+    throw std::invalid_argument("barabasi_albert: need n >= attach_edges >= 1");
+  }
+  std::vector<Edge> edges;
+  // Repeated-vertex list: sampling uniformly from it is degree-proportional.
+  std::vector<ArmId> targets;
+  // Seed: clique on the first attach_edges vertices (or a single vertex).
+  for (std::size_t i = 0; i < attach_edges; ++i) {
+    for (std::size_t j = i + 1; j < attach_edges; ++j) {
+      edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
+      targets.push_back(static_cast<ArmId>(i));
+      targets.push_back(static_cast<ArmId>(j));
+    }
+    if (attach_edges == 1) targets.push_back(static_cast<ArmId>(i));
+  }
+  for (std::size_t v = attach_edges; v < n; ++v) {
+    std::set<ArmId> chosen;
+    while (chosen.size() < attach_edges) {
+      ArmId t;
+      if (targets.empty()) {
+        t = static_cast<ArmId>(rng.uniform_int(v));
+      } else {
+        t = targets[rng.uniform_int(targets.size())];
+      }
+      if (static_cast<std::size_t>(t) < v) chosen.insert(t);
+    }
+    for (const ArmId t : chosen) {
+      edges.emplace_back(static_cast<ArmId>(v), t);
+      targets.push_back(static_cast<ArmId>(v));
+      targets.push_back(t);
+    }
+  }
+  return Graph(n, edges);
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     Xoshiro256& rng) {
+  if (n < 3 || k == 0 || 2 * k >= n) {
+    throw std::invalid_argument("watts_strogatz: need n >= 3 and 0 < 2k < n");
+  }
+  std::set<Edge> edge_set;
+  const auto norm = [](ArmId a, ArmId b) {
+    return Edge{std::min(a, b), std::max(a, b)};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      edge_set.insert(norm(static_cast<ArmId>(i),
+                           static_cast<ArmId>((i + d) % n)));
+    }
+  }
+  // Rewire each lattice edge (i, i+d) with probability beta.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      if (!rng.bernoulli(beta)) continue;
+      const auto old_edge = norm(static_cast<ArmId>(i),
+                                 static_cast<ArmId>((i + d) % n));
+      if (!edge_set.count(old_edge)) continue;
+      // Pick a new endpoint, avoiding self-loops and duplicates.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto j = static_cast<ArmId>(rng.uniform_int(n));
+        if (static_cast<std::size_t>(j) == i) continue;
+        const auto new_edge = norm(static_cast<ArmId>(i), j);
+        if (edge_set.count(new_edge)) continue;
+        edge_set.erase(old_edge);
+        edge_set.insert(new_edge);
+        break;
+      }
+    }
+  }
+  return Graph(n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
+}
+
+}  // namespace ncb

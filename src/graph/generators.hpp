@@ -1,0 +1,54 @@
+// Relation-graph generators.
+//
+// The paper's simulations use "uniformly and randomly connected" graphs
+// (Erdős–Rényi) with p = 0.3 (sparse) and p = 0.6 (dense); the remaining
+// families support the ablation benches and tests.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+/// Erdős–Rényi G(n, p): every pair connected independently w.p. p.
+[[nodiscard]] Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng);
+
+/// Complete graph K_n (every pull observes everything).
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Empty graph (no side bonus; all policies degenerate to their classical
+/// counterparts).
+[[nodiscard]] Graph empty_graph(std::size_t n);
+
+/// Star: vertex 0 is the hub connected to all others.
+[[nodiscard]] Graph star_graph(std::size_t n);
+
+/// Path 0-1-2-...-(n-1). The paper's Fig. 2 uses the 4-vertex path.
+[[nodiscard]] Graph path_graph(std::size_t n);
+
+/// Cycle 0-1-...-(n-1)-0. Requires n >= 3.
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+
+/// rows x cols grid with 4-neighborhood.
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// Disjoint union of `num_cliques` cliques of size `clique_size` each.
+/// Its minimum clique cover is exactly `num_cliques` — handy for testing the
+/// Theorem 1 bound's C-dependence.
+[[nodiscard]] Graph disjoint_cliques(std::size_t num_cliques,
+                                     std::size_t clique_size);
+
+/// Barabási–Albert preferential attachment: start from a clique of
+/// `attach_edges` vertices, each new vertex attaches to `attach_edges`
+/// distinct existing vertices with probability proportional to degree.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t attach_edges,
+                                    Xoshiro256& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability beta.
+[[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                                   Xoshiro256& rng);
+
+}  // namespace ncb

@@ -1,0 +1,150 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ncb {
+
+Graph::Graph(std::size_t num_vertices)
+    : adjacency_(num_vertices) {
+  build_derived();
+}
+
+Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges)
+    : adjacency_(num_vertices) {
+  std::set<Edge> unique;
+  for (const auto& [a, b] : edges) {
+    if (a == b) throw std::invalid_argument("Graph: self-loop not allowed");
+    if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= num_vertices ||
+        static_cast<std::size_t>(b) >= num_vertices) {
+      throw std::out_of_range("Graph: edge endpoint out of range");
+    }
+    unique.emplace(std::min(a, b), std::max(a, b));
+  }
+  for (const auto& [a, b] : unique) {
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  num_edges_ = unique.size();
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+  build_derived();
+}
+
+void Graph::build_derived() {
+  const std::size_t n = adjacency_.size();
+  closed_.resize(n);
+  adj_bits_.assign(n, Bitset64(n));
+  closed_bits_.assign(n, Bitset64(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    closed_[i] = adjacency_[i];
+    closed_[i].push_back(static_cast<ArmId>(i));
+    std::sort(closed_[i].begin(), closed_[i].end());
+    for (const ArmId j : adjacency_[i]) adj_bits_[i].set(static_cast<std::size_t>(j));
+    for (const ArmId j : closed_[i]) closed_bits_[i].set(static_cast<std::size_t>(j));
+  }
+}
+
+bool Graph::has_edge(ArmId u, ArmId v) const {
+  if (u < 0 || v < 0 || static_cast<std::size_t>(u) >= num_vertices() ||
+      static_cast<std::size_t>(v) >= num_vertices() || u == v) {
+    return false;
+  }
+  return adj_bits_[static_cast<std::size_t>(u)].test(static_cast<std::size_t>(v));
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    for (const ArmId j : adjacency_[i]) {
+      if (static_cast<std::size_t>(j) > i) {
+        out.emplace_back(static_cast<ArmId>(i), j);
+      }
+    }
+  }
+  return out;
+}
+
+Bitset64 Graph::strategy_neighborhood(const ArmSet& arms) const {
+  Bitset64 acc(num_vertices());
+  for (const ArmId i : arms) {
+    acc |= closed_bits_.at(static_cast<std::size_t>(i));
+  }
+  return acc;
+}
+
+ArmSet Graph::strategy_neighborhood_list(const ArmSet& arms) const {
+  return strategy_neighborhood(arms).to_indices();
+}
+
+bool Graph::is_independent_set(const ArmSet& arms) const {
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (std::size_t b = a + 1; b < arms.size(); ++b) {
+      if (has_edge(arms[a], arms[b])) return false;
+    }
+  }
+  return true;
+}
+
+bool Graph::is_clique(const ArmSet& arms) const {
+  for (std::size_t a = 0; a < arms.size(); ++a) {
+    for (std::size_t b = a + 1; b < arms.size(); ++b) {
+      if (!has_edge(arms[a], arms[b])) return false;
+    }
+  }
+  return true;
+}
+
+Graph Graph::complement() const {
+  const std::size_t n = num_vertices();
+  std::vector<Edge> edges_out;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!adj_bits_[i].test(j)) {
+        edges_out.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
+      }
+    }
+  }
+  return Graph(n, edges_out);
+}
+
+Graph Graph::induced_subgraph(const ArmSet& vertices,
+                              ArmSet* original_ids) const {
+  std::vector<ArmId> map_to_new(num_vertices(), kNoArm);
+  for (std::size_t v = 0; v < vertices.size(); ++v) {
+    const ArmId orig = vertices[v];
+    if (orig < 0 || static_cast<std::size_t>(orig) >= num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex out of range");
+    }
+    if (map_to_new[static_cast<std::size_t>(orig)] != kNoArm) {
+      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+    }
+    map_to_new[static_cast<std::size_t>(orig)] = static_cast<ArmId>(v);
+  }
+  std::vector<Edge> sub_edges;
+  for (std::size_t v = 0; v < vertices.size(); ++v) {
+    for (const ArmId nb : neighbors(vertices[v])) {
+      const ArmId mapped = map_to_new[static_cast<std::size_t>(nb)];
+      if (mapped != kNoArm && mapped > static_cast<ArmId>(v)) {
+        sub_edges.emplace_back(static_cast<ArmId>(v), mapped);
+      }
+    }
+  }
+  if (original_ids) *original_ids = vertices;
+  return Graph(vertices.size(), sub_edges);
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream out;
+  out << "Graph(V=" << num_vertices() << ", E=" << num_edges_ << ")\n";
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    out << "  " << i << ":";
+    for (const ArmId j : adjacency_[i]) out << ' ' << j;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ncb

@@ -1,0 +1,98 @@
+// Undirected relation graph over the K arms (paper §II).
+//
+// The graph is immutable after construction. It stores both sorted adjacency
+// lists (for iteration) and per-vertex bitset rows (for O(K/64) neighborhood
+// unions, the core of the combinatorial-play machinery).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bitset64.hpp"
+#include "util/types.hpp"
+
+namespace ncb {
+
+/// An undirected edge as an (ordered) vertex pair.
+using Edge = std::pair<ArmId, ArmId>;
+
+class Graph {
+ public:
+  /// Empty graph on `num_vertices` vertices.
+  explicit Graph(std::size_t num_vertices);
+
+  /// Graph from an explicit edge list. Self-loops are rejected; duplicate
+  /// edges are deduplicated.
+  Graph(std::size_t num_vertices, const std::vector<Edge>& edges);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] bool has_edge(ArmId u, ArmId v) const;
+
+  /// Open neighborhood N(i): neighbors of i, sorted, excluding i itself.
+  [[nodiscard]] const std::vector<ArmId>& neighbors(ArmId i) const {
+    return adjacency_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Closed neighborhood N_i = {i} ∪ N(i), sorted. The paper's side-bonus
+  /// scope for arm i.
+  [[nodiscard]] const std::vector<ArmId>& closed_neighborhood(ArmId i) const {
+    return closed_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Closed neighborhood as a bitset (for unions: Y_x = OR of rows).
+  [[nodiscard]] const Bitset64& closed_neighborhood_bits(ArmId i) const {
+    return closed_bits_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Open-neighborhood bitset row.
+  [[nodiscard]] const Bitset64& neighbors_bits(ArmId i) const {
+    return adj_bits_.at(static_cast<std::size_t>(i));
+  }
+
+  [[nodiscard]] std::size_t degree(ArmId i) const {
+    return adjacency_.at(static_cast<std::size_t>(i)).size();
+  }
+
+  /// All edges, each once, with first < second, sorted lexicographically.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Union of closed neighborhoods of `arms`: the paper's Y_x. Arms must be
+  /// valid vertices.
+  [[nodiscard]] Bitset64 strategy_neighborhood(const ArmSet& arms) const;
+
+  /// Same, as a sorted vertex list.
+  [[nodiscard]] ArmSet strategy_neighborhood_list(const ArmSet& arms) const;
+
+  /// True iff `arms` is an independent set of this graph.
+  [[nodiscard]] bool is_independent_set(const ArmSet& arms) const;
+
+  /// True iff `arms` induces a complete subgraph (a clique).
+  [[nodiscard]] bool is_clique(const ArmSet& arms) const;
+
+  /// Complement graph (same vertices; edge iff not present here).
+  [[nodiscard]] Graph complement() const;
+
+  /// Vertex-induced subgraph on `vertices` (need not be sorted). Vertex v of
+  /// the subgraph corresponds to `vertices[v]` here; the mapping is returned
+  /// through `original_ids` when non-null.
+  [[nodiscard]] Graph induced_subgraph(const ArmSet& vertices,
+                                       ArmSet* original_ids = nullptr) const;
+
+  /// Human-readable adjacency dump (for examples and the Fig. 1/2 benches).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void build_derived();
+
+  std::vector<std::vector<ArmId>> adjacency_;
+  std::vector<std::vector<ArmId>> closed_;
+  std::vector<Bitset64> adj_bits_;
+  std::vector<Bitset64> closed_bits_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ncb

@@ -1,0 +1,153 @@
+#include "graph/independent_sets.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace ncb {
+namespace {
+
+void enumerate_rec(const Graph& g, std::size_t max_size, ArmId start,
+                   ArmSet& current, const Bitset64& blocked,
+                   std::vector<ArmSet>& out) {
+  const auto n = static_cast<ArmId>(g.num_vertices());
+  for (ArmId v = start; v < n; ++v) {
+    if (blocked.test(static_cast<std::size_t>(v))) continue;
+    current.push_back(v);
+    out.push_back(current);
+    if (max_size == 0 || current.size() < max_size) {
+      Bitset64 next_blocked = blocked;
+      next_blocked |= g.neighbors_bits(v);
+      next_blocked.set(static_cast<std::size_t>(v));
+      enumerate_rec(g, max_size, v + 1, current, next_blocked, out);
+    }
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<ArmSet> enumerate_independent_sets(const Graph& g,
+                                               std::size_t max_size) {
+  std::vector<ArmSet> out;
+  ArmSet current;
+  enumerate_rec(g, max_size, 0, current, Bitset64(g.num_vertices()), out);
+  std::sort(out.begin(), out.end(), [](const ArmSet& a, const ArmSet& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return out;
+}
+
+namespace {
+
+/// Bron–Kerbosch with pivoting over the *independence* relation:
+/// two vertices are compatible iff NOT adjacent in g.
+void bron_kerbosch(const Graph& g, Bitset64 r, Bitset64 p, Bitset64 x,
+                   std::vector<ArmSet>& out) {
+  if (p.none() && x.none()) {
+    out.push_back(r.to_indices());
+    return;
+  }
+  // Pivot: vertex of P ∪ X with the most "compatible" vertices in P.
+  ArmId pivot = kNoArm;
+  std::size_t best = 0;
+  Bitset64 pux = p;
+  pux |= x;
+  pux.for_each([&](ArmId u) {
+    Bitset64 compat = p;
+    compat.and_not(g.neighbors_bits(u));  // non-neighbors of u within P
+    compat.reset(static_cast<std::size_t>(u));
+    const std::size_t cnt = compat.count();
+    if (pivot == kNoArm || cnt > best) {
+      pivot = u;
+      best = cnt;
+    }
+  });
+  // Candidates: P minus the pivot's compatible set = P ∩ (neighbors(pivot) ∪ {pivot}).
+  Bitset64 candidates = p;
+  if (pivot != kNoArm) {
+    Bitset64 compat = g.neighbors_bits(pivot);  // incompatible-with-pivot = adjacency
+    // Vertices NOT adjacent to pivot (other than pivot) can be skipped;
+    // iterate only over P ∩ (adj(pivot) ∪ {pivot}).
+    Bitset64 keep = compat;
+    keep.set(static_cast<std::size_t>(pivot));
+    candidates &= keep;
+  }
+  candidates.for_each([&](ArmId v) {
+    Bitset64 nr = r;
+    nr.set(static_cast<std::size_t>(v));
+    // Compatible set of v: all vertices not adjacent to v, excluding v.
+    Bitset64 np = p;
+    np.and_not(g.neighbors_bits(v));
+    np.reset(static_cast<std::size_t>(v));
+    Bitset64 nx = x;
+    nx.and_not(g.neighbors_bits(v));
+    nx.reset(static_cast<std::size_t>(v));
+    bron_kerbosch(g, nr, np, nx, out);
+    p.reset(static_cast<std::size_t>(v));
+    x.set(static_cast<std::size_t>(v));
+  });
+}
+
+}  // namespace
+
+std::vector<ArmSet> enumerate_maximal_independent_sets(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  Bitset64 p(n), r(n), x(n);
+  for (std::size_t v = 0; v < n; ++v) p.set(v);
+  std::vector<ArmSet> out;
+  bron_kerbosch(g, r, p, x, out);
+  std::sort(out.begin(), out.end(), [](const ArmSet& a, const ArmSet& b) {
+    if (a.size() != b.size()) return a.size() < b.size();
+    return a < b;
+  });
+  return out;
+}
+
+ArmSet maximum_independent_set(const Graph& g) {
+  std::vector<double> weights(g.num_vertices(), 1.0);
+  return maximum_weight_independent_set(g, weights);
+}
+
+namespace {
+
+void mwis_rec(const Graph& g, const std::vector<double>& weights,
+              ArmId start, ArmSet& current, double current_weight,
+              const Bitset64& blocked, double remaining_weight,
+              ArmSet& best, double& best_weight) {
+  if (current_weight > best_weight) {
+    best_weight = current_weight;
+    best = current;
+  }
+  if (current_weight + remaining_weight <= best_weight) return;  // prune
+  const auto n = static_cast<ArmId>(g.num_vertices());
+  double rem = remaining_weight;
+  for (ArmId v = start; v < n; ++v) {
+    const double w = weights[static_cast<std::size_t>(v)];
+    if (blocked.test(static_cast<std::size_t>(v))) continue;
+    if (current_weight + rem <= best_weight) return;
+    current.push_back(v);
+    Bitset64 next_blocked = blocked;
+    next_blocked |= g.neighbors_bits(v);
+    next_blocked.set(static_cast<std::size_t>(v));
+    mwis_rec(g, weights, v + 1, current, current_weight + w, next_blocked,
+             rem - w, best, best_weight);
+    current.pop_back();
+    rem -= w;
+  }
+}
+
+}  // namespace
+
+ArmSet maximum_weight_independent_set(const Graph& g,
+                                      const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) total += std::max(w, 0.0);
+  ArmSet best, current;
+  double best_weight = 0.0;
+  mwis_rec(g, weights, 0, current, 0.0, Bitset64(g.num_vertices()), total,
+           best, best_weight);
+  return best;
+}
+
+}  // namespace ncb

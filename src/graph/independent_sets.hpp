@@ -1,0 +1,36 @@
+// Independent-set enumeration.
+//
+// The paper's Fig. 2 feasible strategy set is the family of (non-empty)
+// independent sets of the relation graph (maximum-weight independent set
+// with unknown stochastic weights). These helpers enumerate that family for
+// the strategy module and compute maximum independent sets for tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ncb {
+
+/// All non-empty independent sets with at most `max_size` vertices
+/// (max_size = 0 means no size limit). Sets are sorted internally and the
+/// family is sorted lexicographically by (size, content) for determinism.
+/// Exponential output; intended for small K.
+[[nodiscard]] std::vector<ArmSet> enumerate_independent_sets(
+    const Graph& g, std::size_t max_size = 0);
+
+/// All *maximal* independent sets (Bron–Kerbosch with pivoting on the
+/// complement-clique view).
+[[nodiscard]] std::vector<ArmSet> enumerate_maximal_independent_sets(
+    const Graph& g);
+
+/// One maximum-cardinality independent set (exact, exponential).
+[[nodiscard]] ArmSet maximum_independent_set(const Graph& g);
+
+/// Maximum-weight independent set for given non-negative vertex weights
+/// (exact branch and bound). Used as a combinatorial oracle in tests.
+[[nodiscard]] ArmSet maximum_weight_independent_set(
+    const Graph& g, const std::vector<double>& weights);
+
+}  // namespace ncb

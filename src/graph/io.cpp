@@ -1,0 +1,77 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ncb {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges()) {
+    out << u << ' ' << v << '\n';
+  }
+  return out.str();
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::size_t num_vertices = 0, num_edges = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    if (!have_header) {
+      if (!(fields >> num_vertices >> num_edges)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        throw std::invalid_argument("edge list: malformed header");
+      }
+      have_header = true;
+      continue;
+    }
+    long u = 0, v = 0;
+    if (!(fields >> u >> v)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      throw std::invalid_argument("edge list: malformed edge at line " +
+                                  std::to_string(line_no));
+    }
+    edges.emplace_back(static_cast<ArmId>(u), static_cast<ArmId>(v));
+  }
+  if (!have_header) throw std::invalid_argument("edge list: missing header");
+  if (edges.size() != num_edges) {
+    throw std::invalid_argument("edge list: expected " +
+                                std::to_string(num_edges) + " edges, got " +
+                                std::to_string(edges.size()));
+  }
+  return Graph(num_vertices, edges);  // validates ranges / self-loops
+}
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+std::string to_dot(const Graph& g, const std::string& name,
+                   const std::vector<std::string>* labels) {
+  if (labels && labels->size() != g.num_vertices()) {
+    throw std::invalid_argument("to_dot: one label per vertex required");
+  }
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    out << "  " << v;
+    if (labels) out << " [label=\"" << (*labels)[v] << "\"]";
+    out << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ncb

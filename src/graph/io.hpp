@@ -1,0 +1,31 @@
+// Graph serialization: a plain edge-list text format (round-trippable) and
+// Graphviz DOT export for visualizing relation graphs and strategy graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ncb {
+
+/// Edge-list text format:
+///   line 1: "<num_vertices> <num_edges>"
+///   one "u v" pair per following line (u < v)
+/// Comments (# ...) and blank lines are ignored when parsing.
+[[nodiscard]] std::string to_edge_list(const Graph& g);
+
+/// Parses the edge-list format; throws std::invalid_argument on malformed
+/// input (bad header, vertex out of range, self-loop, wrong edge count).
+[[nodiscard]] Graph parse_edge_list(const std::string& text);
+
+/// Reads an edge list from a stream (same format/errors as parse_edge_list).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Graphviz DOT (undirected). `name` becomes the graph id; optional
+/// per-vertex labels (defaults to the vertex index).
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const std::string& name = "G",
+                                 const std::vector<std::string>* labels = nullptr);
+
+}  // namespace ncb

@@ -1,0 +1,71 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "graph/clique_cover.hpp"
+
+namespace ncb {
+
+std::vector<ArmSet> connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<bool> visited(n, false);
+  std::vector<ArmSet> components;
+  std::vector<ArmId> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    ArmSet comp;
+    stack.push_back(static_cast<ArmId>(s));
+    visited[s] = true;
+    while (!stack.empty()) {
+      const ArmId v = stack.back();
+      stack.pop_back();
+      comp.push_back(v);
+      for (const ArmId nb : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(nb)]) {
+          visited[static_cast<std::size_t>(nb)] = true;
+          stack.push_back(nb);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+GraphMetrics compute_metrics(const Graph& g) {
+  GraphMetrics m;
+  m.num_vertices = g.num_vertices();
+  m.num_edges = g.num_edges();
+  if (m.num_vertices >= 2) {
+    m.density = 2.0 * static_cast<double>(m.num_edges) /
+                (static_cast<double>(m.num_vertices) *
+                 static_cast<double>(m.num_vertices - 1));
+  }
+  if (m.num_vertices > 0) {
+    m.min_degree = g.degree(0);
+    for (std::size_t v = 0; v < m.num_vertices; ++v) {
+      const std::size_t d = g.degree(static_cast<ArmId>(v));
+      m.avg_degree += static_cast<double>(d);
+      m.min_degree = std::min(m.min_degree, d);
+      m.max_degree = std::max(m.max_degree, d);
+    }
+    m.avg_degree /= static_cast<double>(m.num_vertices);
+  }
+  m.num_components = connected_components(g).size();
+  m.greedy_clique_cover_size = greedy_clique_cover(g).size();
+  return m;
+}
+
+std::string GraphMetrics::to_string() const {
+  std::ostringstream out;
+  out << "V=" << num_vertices << " E=" << num_edges << " density=" << density
+      << " deg[min/avg/max]=" << min_degree << '/' << avg_degree << '/'
+      << max_degree << " components=" << num_components
+      << " greedy_clique_cover=" << greedy_clique_cover_size;
+  return out.str();
+}
+
+}  // namespace ncb

@@ -1,0 +1,31 @@
+// Descriptive graph statistics for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ncb {
+
+struct GraphMetrics {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  double density = 0.0;       ///< 2E / (V(V-1)); 0 for V < 2.
+  double avg_degree = 0.0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  std::size_t num_components = 0;
+  std::size_t greedy_clique_cover_size = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] GraphMetrics compute_metrics(const Graph& g);
+
+/// Connected components; each component is a sorted vertex list, components
+/// sorted by smallest member.
+[[nodiscard]] std::vector<ArmSet> connected_components(const Graph& g);
+
+}  // namespace ncb

@@ -1,0 +1,45 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ncb {
+
+double default_delta0(std::size_t num_arms, std::int64_t horizon,
+                      double alpha) {
+  if (num_arms == 0 || horizon <= 0) {
+    throw std::invalid_argument("default_delta0: need arms > 0, horizon > 0");
+  }
+  return alpha * std::sqrt(static_cast<double>(num_arms) /
+                           static_cast<double>(horizon));
+}
+
+std::vector<double> gaps_from_means(const std::vector<double>& means) {
+  if (means.empty()) return {};
+  const double best = *std::max_element(means.begin(), means.end());
+  std::vector<double> gaps(means.size());
+  for (std::size_t i = 0; i < means.size(); ++i) gaps[i] = best - means[i];
+  return gaps;
+}
+
+ThresholdPartition threshold_partition(const Graph& g,
+                                       const std::vector<double>& gaps,
+                                       double delta0) {
+  if (gaps.size() != g.num_vertices()) {
+    throw std::invalid_argument("threshold_partition: gaps/vertices mismatch");
+  }
+  ThresholdPartition out{delta0, {}, {}, Graph(0), {}, {}};
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    if (gaps[i] <= delta0) {
+      out.k1.push_back(static_cast<ArmId>(i));
+    } else {
+      out.k2.push_back(static_cast<ArmId>(i));
+    }
+  }
+  out.subgraph_h = g.induced_subgraph(out.k2, &out.h_to_original);
+  out.cover = greedy_clique_cover(out.subgraph_h);
+  return out;
+}
+
+}  // namespace ncb

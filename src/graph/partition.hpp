@@ -1,0 +1,42 @@
+// The Δ-threshold graph partition from the proof of Theorem 1 (paper Fig. 1).
+//
+// Arms with gap Δ_i ≤ δ0 form K1 and are removed; the vertex-induced
+// subgraph H over K2 = {i : Δ_i > δ0} is covered by cliques. The theory
+// module evaluates the Theorem 1 bound using |C(H)|; the fig1 bench prints
+// the construction.
+#pragma once
+
+#include <vector>
+
+#include "graph/clique_cover.hpp"
+#include "graph/graph.hpp"
+
+namespace ncb {
+
+struct ThresholdPartition {
+  double delta0 = 0.0;          ///< The split threshold δ0 = α·sqrt(K/n).
+  ArmSet k1;                    ///< Arms with Δ_i ≤ δ0 (near-optimal).
+  ArmSet k2;                    ///< Arms with Δ_i > δ0 (clearly suboptimal).
+  Graph subgraph_h;             ///< Vertex-induced subgraph of G on k2.
+  ArmSet h_to_original;         ///< Maps H's vertex v to its id in G.
+  CliqueCover cover;            ///< Greedy clique cover of H (ids in H).
+
+  /// Clique cover size C used in the Theorem 1 bound.
+  [[nodiscard]] std::size_t clique_cover_size() const noexcept {
+    return cover.size();
+  }
+};
+
+/// Paper's default threshold δ0 = α·sqrt(K/n) with α = e (Theorem 1 proof).
+[[nodiscard]] double default_delta0(std::size_t num_arms, std::int64_t horizon,
+                                    double alpha = 2.718281828459045);
+
+/// Computes gaps Δ_i = μ* − μ_i from means.
+[[nodiscard]] std::vector<double> gaps_from_means(
+    const std::vector<double>& means);
+
+/// Builds the full partition: split by δ0, induce H, cover it greedily.
+[[nodiscard]] ThresholdPartition threshold_partition(
+    const Graph& g, const std::vector<double>& gaps, double delta0);
+
+}  // namespace ncb

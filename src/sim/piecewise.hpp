@@ -1,0 +1,51 @@
+// Piecewise-stationary environments: arm means jump at breakpoints. Regret
+// is measured against the *dynamic* oracle (the best arm of the current
+// phase), which is what the sliding-window / discounted policies target.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "env/instance.hpp"
+#include "sim/runner.hpp"
+
+namespace ncb {
+
+/// A sequence of phases over one relation graph. Phase p is active for
+/// slots in (breakpoint[p-1], breakpoint[p]]; the last phase runs to the
+/// horizon. All phases must share the same graph topology (vertex count).
+class PiecewiseInstance {
+ public:
+  /// `breakpoints[p]` is the last slot of phase p (strictly increasing,
+  /// one fewer entry than phases — the final phase is open-ended).
+  PiecewiseInstance(std::vector<BanditInstance> phases,
+                    std::vector<TimeSlot> breakpoints);
+
+  [[nodiscard]] std::size_t num_phases() const noexcept {
+    return phases_.size();
+  }
+  [[nodiscard]] std::size_t num_arms() const noexcept {
+    return phases_.front().num_arms();
+  }
+  [[nodiscard]] const Graph& graph() const noexcept {
+    return phases_.front().graph();
+  }
+
+  /// The instance active at slot t (1-based).
+  [[nodiscard]] const BanditInstance& phase_at(TimeSlot t) const;
+
+  /// Index of the phase active at slot t.
+  [[nodiscard]] std::size_t phase_index(TimeSlot t) const;
+
+ private:
+  std::vector<BanditInstance> phases_;
+  std::vector<TimeSlot> breakpoints_;
+};
+
+/// Runs one single-play replication against the piecewise environment.
+/// Only kSso / kSsr semantics; regret is dynamic (per-phase optimum).
+[[nodiscard]] RunResult run_single_play_piecewise(
+    SinglePlayPolicy& policy, const PiecewiseInstance& instance,
+    Scenario scenario, TimeSlot horizon, std::uint64_t seed);
+
+}  // namespace ncb

@@ -1,0 +1,99 @@
+#include "sim/replication.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ncb {
+
+std::vector<double> ReplicatedResult::average_regret() const {
+  std::vector<double> avg = cumulative_regret.means();
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    avg[i] /= static_cast<double>(i + 1);
+  }
+  return avg;
+}
+
+namespace {
+
+/// Shared reduction state guarded by a mutex; replications merge into it.
+struct Reduction {
+  std::mutex mutex;
+  ReplicatedResult result;
+};
+
+void reduce(Reduction& red, const RunResult& run) {
+  const std::lock_guard<std::mutex> lock(red.mutex);
+  red.result.per_slot_regret.add_series(run.per_slot_regret);
+  red.result.cumulative_regret.add_series(run.cumulative_regret);
+  red.result.per_slot_pseudo_regret.add_series(run.per_slot_pseudo_regret);
+  red.result.final_cumulative.add(run.cumulative_regret.back());
+  red.result.optimal_per_slot = run.optimal_per_slot;
+  ++red.result.replications;
+}
+
+}  // namespace
+
+ReplicatedResult run_replicated_single(const SinglePolicyFactory& make_policy,
+                                       const BanditInstance& instance,
+                                       Scenario scenario,
+                                       const ReplicationOptions& options) {
+  if (!make_policy) {
+    throw std::invalid_argument("run_replicated_single: null factory");
+  }
+  // Two seeds per replication: environment stream, policy stream.
+  const auto seeds = derive_seeds(options.master_seed, options.replications * 2);
+  Reduction red;
+  red.result.scenario = scenario;
+
+  const auto one_rep = [&](std::size_t r) {
+    Environment env(instance, seeds[2 * r]);
+    const auto policy = make_policy(seeds[2 * r + 1]);
+    const RunResult run =
+        run_single_play(*policy, env, scenario, options.runner);
+    reduce(red, run);
+  };
+
+  if (options.pool) {
+    for (std::size_t r = 0; r < options.replications; ++r) {
+      options.pool->submit([&, r] { one_rep(r); });
+    }
+    options.pool->wait_idle();
+  } else {
+    for (std::size_t r = 0; r < options.replications; ++r) one_rep(r);
+  }
+  return std::move(red.result);
+}
+
+ReplicatedResult run_replicated_combinatorial(
+    const CombinatorialPolicyFactory& make_policy,
+    const BanditInstance& instance, const FeasibleSet& family,
+    Scenario scenario, const ReplicationOptions& options) {
+  if (!make_policy) {
+    throw std::invalid_argument("run_replicated_combinatorial: null factory");
+  }
+  const auto seeds = derive_seeds(options.master_seed, options.replications * 2);
+  Reduction red;
+  red.result.scenario = scenario;
+
+  const auto one_rep = [&](std::size_t r) {
+    Environment env(instance, seeds[2 * r]);
+    const auto policy = make_policy(seeds[2 * r + 1]);
+    const RunResult run =
+        run_combinatorial(*policy, family, env, scenario, options.runner);
+    reduce(red, run);
+  };
+
+  if (options.pool) {
+    for (std::size_t r = 0; r < options.replications; ++r) {
+      options.pool->submit([&, r] { one_rep(r); });
+    }
+    options.pool->wait_idle();
+  } else {
+    for (std::size_t r = 0; r < options.replications; ++r) one_rep(r);
+  }
+  return std::move(red.result);
+}
+
+}  // namespace ncb

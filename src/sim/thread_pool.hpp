@@ -1,0 +1,56 @@
+// Fixed-size worker pool for running replications in parallel.
+//
+// Deliberately simple: a mutex-guarded queue and a condition variable
+// (Core Guidelines CP.20/CP.42 style — RAII locks, cv waits with predicates).
+// Tasks are type-erased std::function<void()>; wait_idle() blocks until all
+// submitted tasks finished, so callers can reuse one pool across phases.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ncb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 → hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after shutdown started.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed. If any task threw,
+  /// the first captured exception is rethrown here (the remaining tasks
+  /// still ran to completion).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace ncb

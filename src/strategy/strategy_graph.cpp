@@ -1,0 +1,30 @@
+#include "strategy/strategy_graph.hpp"
+
+namespace ncb {
+
+Graph build_strategy_graph(const FeasibleSet& family) {
+  const auto count = static_cast<StrategyId>(family.size());
+  std::vector<Edge> links;
+  for (StrategyId x = 0; x < count; ++x) {
+    for (StrategyId y = x + 1; y < count; ++y) {
+      const bool y_in_x =
+          family.strategy_bits(y).is_subset_of(family.neighborhood_bits(x));
+      const bool x_in_y =
+          family.strategy_bits(x).is_subset_of(family.neighborhood_bits(y));
+      if (y_in_x && x_in_y) links.emplace_back(x, y);
+    }
+  }
+  return Graph(family.size(), links);
+}
+
+std::vector<StrategyId> observable_strategies(const FeasibleSet& family,
+                                              StrategyId x) {
+  std::vector<StrategyId> out;
+  const Bitset64& observed = family.neighborhood_bits(x);
+  for (StrategyId y = 0; y < static_cast<StrategyId>(family.size()); ++y) {
+    if (family.strategy_bits(y).is_subset_of(observed)) out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace ncb

@@ -1,0 +1,68 @@
+#include "util/arg_parse.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ncb {
+
+ArgParse::ArgParse(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` if the next token is not itself a flag; else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+std::optional<std::string> ArgParse::raw(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParse::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParse::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto v = raw(name);
+  return v && !v->empty() ? *v : fallback;
+}
+
+std::int64_t ArgParse::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double ArgParse::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v || v->empty()) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool ArgParse::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "true" || *v == "1" || *v == "yes") return true;
+  return false;
+}
+
+}  // namespace ncb

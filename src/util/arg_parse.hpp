@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms.
+// Unknown flags are collected so binaries can forward them (e.g. to
+// google-benchmark).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ncb {
+
+class ArgParse {
+ public:
+  ArgParse(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ncb

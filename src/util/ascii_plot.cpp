@@ -1,0 +1,114 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace ncb {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> downsample(const std::vector<double>& values,
+                               std::size_t max_points) {
+  if (values.size() <= max_points || max_points == 0) return values;
+  std::vector<double> out;
+  out.reserve(max_points);
+  const double stride =
+      static_cast<double>(values.size()) / static_cast<double>(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(std::floor(static_cast<double>(i) * stride));
+    out.push_back(values[std::min(idx, values.size() - 1)]);
+  }
+  return out;
+}
+
+std::string render_plot(const std::vector<PlotSeries>& series,
+                        const PlotOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  std::size_t max_len = 0;
+  for (const auto& s : series) {
+    for (const double v : s.values) {
+      if (std::isfinite(v)) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+    max_len = std::max(max_len, s.values.size());
+  }
+  if (max_len == 0 || !std::isfinite(ymin)) {
+    out << "(empty plot)\n";
+    return out.str();
+  }
+  if (options.y_zero) {
+    ymin = std::min(ymin, 0.0);
+    ymax = std::max(ymax, 0.0);
+  }
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const int width = std::max(16, options.width);
+  const int height = std::max(4, options.height);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& vals = series[si].values;
+    if (vals.empty()) continue;
+    for (int col = 0; col < width; ++col) {
+      // Map column -> value index (nearest sample).
+      const double frac = width > 1 ? static_cast<double>(col) / (width - 1) : 0.0;
+      const auto idx = static_cast<std::size_t>(
+          std::llround(frac * static_cast<double>(vals.size() - 1)));
+      const double v = vals[idx];
+      if (!std::isfinite(v)) continue;
+      const double norm = (v - ymin) / (ymax - ymin);
+      int row = static_cast<int>(std::llround((1.0 - norm) * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  for (int row = 0; row < height; ++row) {
+    const double v = ymax - (ymax - ymin) * static_cast<double>(row) / (height - 1);
+    out << format_tick(v) << " |" << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+      << '\n';
+  const double x_last = options.x_offset +
+                        options.x_step * static_cast<double>(max_len ? max_len - 1 : 0);
+  out << std::string(12, ' ') << options.x_label << ": " << options.x_offset
+      << " .. " << x_last << '\n';
+  bool named = false;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (series[si].name.empty()) continue;
+    if (!named) {
+      out << "  legend:";
+      named = true;
+    }
+    out << "  [" << kGlyphs[si % sizeof(kGlyphs)] << "] " << series[si].name;
+  }
+  if (named) out << '\n';
+  return out.str();
+}
+
+std::string render_plot(const std::vector<double>& values,
+                        const PlotOptions& options) {
+  return render_plot(std::vector<PlotSeries>{{"", values}}, options);
+}
+
+}  // namespace ncb

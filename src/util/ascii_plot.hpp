@@ -1,0 +1,40 @@
+// Terminal line plots. The bench harness prints each paper figure as an
+// ASCII chart plus CSV rows, since the reproduction is headless.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ncb {
+
+/// One named series of y-values (x is implicit: index * x_step + x_offset).
+struct PlotSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct PlotOptions {
+  int width = 72;      ///< Plot area width in characters.
+  int height = 20;     ///< Plot area height in characters.
+  double x_step = 1;   ///< x distance between consecutive values.
+  double x_offset = 0; ///< x of the first value.
+  std::string title;
+  std::string x_label = "t";
+  std::string y_label;
+  bool y_zero = false; ///< Force the y-range to include 0.
+};
+
+/// Renders one or more series into a multi-line string. Each series gets its
+/// own glyph (`*`, `o`, `+`, `x`, ...); a legend is appended.
+[[nodiscard]] std::string render_plot(const std::vector<PlotSeries>& series,
+                                      const PlotOptions& options = {});
+
+/// Convenience: single unnamed series.
+[[nodiscard]] std::string render_plot(const std::vector<double>& values,
+                                      const PlotOptions& options = {});
+
+/// Downsamples a long series to at most `max_points` points by striding.
+[[nodiscard]] std::vector<double> downsample(const std::vector<double>& values,
+                                             std::size_t max_points);
+
+}  // namespace ncb

@@ -1,0 +1,119 @@
+// Fixed-capacity dynamic bitset backed by 64-bit words.
+//
+// Used for graph adjacency rows and neighborhood unions: `Y_x = ∪ N_i` is a
+// word-wise OR, membership tests are O(1), popcount gives |Y_x|.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ncb {
+
+class Bitset64 {
+ public:
+  Bitset64() = default;
+
+  /// Creates a bitset holding `size` bits, all zero.
+  explicit Bitset64(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (const auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (const auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// this |= other. Sizes must match.
+  Bitset64& operator|=(const Bitset64& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// this &= other. Sizes must match.
+  Bitset64& operator&=(const Bitset64& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// this &= ~other. Sizes must match.
+  Bitset64& and_not(const Bitset64& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  /// True iff every bit set in this is also set in `other`.
+  [[nodiscard]] bool is_subset_of(const Bitset64& other) const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the two bitsets share at least one set bit.
+  [[nodiscard]] bool intersects(const Bitset64& other) const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Bitset64& a, const Bitset64& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<std::int32_t> to_indices() const {
+    std::vector<std::int32_t> out;
+    out.reserve(count());
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        out.push_back(static_cast<std::int32_t>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  /// Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        fn(static_cast<std::int32_t>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ncb

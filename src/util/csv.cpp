@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ncb {
+
+std::string CsvWriter::escape(const std::string& cell, char separator) {
+  bool needs_quotes = false;
+  for (const char c : cell) {
+    if (c == separator || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::format(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << separator_;
+    *out_ << escape(cells[i], separator_);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  write_cells(names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (const double v : cells) text.push_back(format(v));
+  write_cells(text);
+}
+
+void CsvWriter::row(const std::string& label, const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size() + 1);
+  text.push_back(label);
+  for (const double v : cells) text.push_back(format(v));
+  write_cells(text);
+}
+
+}  // namespace ncb

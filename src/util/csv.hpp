@@ -1,0 +1,47 @@
+// Minimal CSV writer used by the bench harness to emit the figure series.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ncb {
+
+/// Streams rows of a CSV table. Values containing separators or quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out, char separator = ',')
+      : out_(&out), separator_(separator) {}
+
+  /// Writes a header row. Must be called before any data row (optional).
+  void header(const std::vector<std::string>& names);
+
+  /// Writes one row of string cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Writes one row of doubles with full round-trip precision.
+  void row(const std::vector<double>& cells);
+
+  /// Writes a labelled numeric row: first cell is `label`.
+  void row(const std::string& label, const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Escapes a single cell per RFC 4180 for the given separator.
+  static std::string escape(const std::string& cell, char separator = ',');
+
+  /// Formats a double compactly with up to `digits` significant digits.
+  static std::string format(double value, int digits = 10);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream* out_;
+  char separator_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ncb

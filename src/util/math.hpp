@@ -1,0 +1,36 @@
+// Small numeric helpers shared by the index policies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ncb {
+
+/// log⁺(x) = max(ln x, 0); the paper's `log+`. Returns 0 for x <= 1 and for
+/// non-positive x (the index is then pure exploitation).
+[[nodiscard]] inline double log_plus(double x) noexcept {
+  if (x <= 1.0) return 0.0;
+  return std::log(x);
+}
+
+/// The MOSS-style exploration width sqrt(log⁺(ratio)/count); +inf when the
+/// arm has never been observed so it is explored first.
+[[nodiscard]] inline double exploration_width(double ratio,
+                                              double count) noexcept {
+  if (count <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(log_plus(ratio) / count);
+}
+
+/// Clamps x into [lo, hi].
+[[nodiscard]] inline double clamp01(double x) noexcept {
+  return std::clamp(x, 0.0, 1.0);
+}
+
+/// Approximate equality with absolute tolerance.
+[[nodiscard]] inline bool almost_equal(double a, double b,
+                                       double tol = 1e-12) noexcept {
+  return std::fabs(a - b) <= tol;
+}
+
+}  // namespace ncb

@@ -1,0 +1,170 @@
+#include "util/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace ncb {
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#ff7f0e", "#9467bd", "#8c564b",
+                                    "#e377c2", "#7f7f7f"};
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const std::vector<PlotSeries>& series,
+                       const SvgOptions& options) {
+  const int width = std::max(160, options.width);
+  const int height = std::max(120, options.height);
+  const double ml = 64, mr = 16, mt = options.title.empty() ? 16 : 36,
+               mb = 44;
+  const double plot_w = width - ml - mr;
+  const double plot_h = height - mt - mb;
+
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+  std::size_t max_len = 0;
+  for (const auto& s : series) {
+    for (const double v : s.values) {
+      if (std::isfinite(v)) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+    max_len = std::max(max_len, s.values.size());
+  }
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+      << height << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    out << "<text x=\"" << width / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+           "font-family=\"sans-serif\" font-size=\"14\">"
+        << escape_xml(options.title) << "</text>\n";
+  }
+  if (max_len == 0 || !std::isfinite(ymin)) {
+    out << "<text x=\"" << width / 2 << "\" y=\"" << height / 2
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"12\">(no data)</text>\n</svg>\n";
+    return out.str();
+  }
+  if (options.y_zero) {
+    ymin = std::min(ymin, 0.0);
+    ymax = std::max(ymax, 0.0);
+  }
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  const double x_last =
+      options.x_offset + options.x_step * static_cast<double>(max_len - 1);
+  const auto sx = [&](double x) {
+    const double span = std::max(x_last - options.x_offset, 1e-12);
+    return ml + (x - options.x_offset) / span * plot_w;
+  };
+  const auto sy = [&](double y) {
+    return mt + (ymax - y) / (ymax - ymin) * plot_h;
+  };
+
+  // Axes + gridlines with 5 y ticks and 5 x ticks.
+  out << "<g font-family=\"sans-serif\" font-size=\"10\" fill=\"#444\">\n";
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double yv = ymin + (ymax - ymin) * tick / 4.0;
+    const double yp = sy(yv);
+    out << "<line x1=\"" << fmt(ml) << "\" y1=\"" << fmt(yp) << "\" x2=\""
+        << fmt(ml + plot_w) << "\" y2=\"" << fmt(yp)
+        << "\" stroke=\"#ddd\"/>\n"
+        << "<text x=\"" << fmt(ml - 6) << "\" y=\"" << fmt(yp + 3)
+        << "\" text-anchor=\"end\">" << fmt(yv) << "</text>\n";
+    const double xv = options.x_offset + (x_last - options.x_offset) * tick / 4.0;
+    const double xp = sx(xv);
+    out << "<text x=\"" << fmt(xp) << "\" y=\"" << fmt(mt + plot_h + 14)
+        << "\" text-anchor=\"middle\">" << fmt(xv) << "</text>\n";
+  }
+  out << "<text x=\"" << fmt(ml + plot_w / 2) << "\" y=\""
+      << fmt(mt + plot_h + 30) << "\" text-anchor=\"middle\">"
+      << escape_xml(options.x_label) << "</text>\n";
+  if (!options.y_label.empty()) {
+    out << "<text x=\"14\" y=\"" << fmt(mt + plot_h / 2)
+        << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 "
+        << fmt(mt + plot_h / 2) << ")\">" << escape_xml(options.y_label)
+        << "</text>\n";
+  }
+  out << "</g>\n"
+      << "<rect x=\"" << fmt(ml) << "\" y=\"" << fmt(mt) << "\" width=\""
+      << fmt(plot_w) << "\" height=\"" << fmt(plot_h)
+      << "\" fill=\"none\" stroke=\"#888\"/>\n";
+
+  // Series polylines.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto values = downsample(
+        series[si].values, static_cast<std::size_t>(std::max(options.max_points, 2)));
+    if (values.empty()) continue;
+    const double stride =
+        values.size() > 1
+            ? (x_last - options.x_offset) / static_cast<double>(values.size() - 1)
+            : 0.0;
+    out << "<polyline fill=\"none\" stroke=\""
+        << kPalette[si % (sizeof(kPalette) / sizeof(kPalette[0]))]
+        << "\" stroke-width=\"1.5\" points=\"";
+    bool first = true;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (!std::isfinite(values[i])) continue;
+      if (!first) out << ' ';
+      out << fmt(sx(options.x_offset + stride * static_cast<double>(i))) << ','
+          << fmt(sy(values[i]));
+      first = false;
+    }
+    out << "\"/>\n";
+  }
+
+  // Legend.
+  double ly = mt + 12;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (series[si].name.empty()) continue;
+    const char* color = kPalette[si % (sizeof(kPalette) / sizeof(kPalette[0]))];
+    out << "<line x1=\"" << fmt(ml + plot_w - 120) << "\" y1=\"" << fmt(ly - 3)
+        << "\" x2=\"" << fmt(ml + plot_w - 100) << "\" y2=\"" << fmt(ly - 3)
+        << "\" stroke=\"" << color << "\" stroke-width=\"2\"/>\n"
+        << "<text x=\"" << fmt(ml + plot_w - 94) << "\" y=\"" << fmt(ly)
+        << "\" font-family=\"sans-serif\" font-size=\"10\">"
+        << escape_xml(series[si].name) << "</text>\n";
+    ly += 14;
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool write_svg(const std::string& path, const std::vector<PlotSeries>& series,
+               const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_svg(series, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ncb

@@ -1,0 +1,34 @@
+// SVG line charts. The figure benches can write each reproduced paper
+// figure as a standalone .svg (in addition to CSV rows and the terminal
+// ASCII rendering), so a headless run still produces viewable artifacts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ascii_plot.hpp"  // PlotSeries
+
+namespace ncb {
+
+struct SvgOptions {
+  int width = 640;    ///< Total image width in px.
+  int height = 400;   ///< Total image height in px.
+  std::string title;
+  std::string x_label = "t";
+  std::string y_label;
+  double x_step = 1;    ///< x distance between consecutive samples.
+  double x_offset = 0;  ///< x of the first sample.
+  bool y_zero = false;  ///< Force the y-range to include 0.
+  int max_points = 400; ///< Series longer than this are downsampled.
+};
+
+/// Renders the series as an SVG document (returned as a string).
+/// Handles empty input and non-finite values gracefully.
+[[nodiscard]] std::string render_svg(const std::vector<PlotSeries>& series,
+                                     const SvgOptions& options = {});
+
+/// Renders and writes to `path`; returns false on I/O failure.
+bool write_svg(const std::string& path, const std::vector<PlotSeries>& series,
+               const SvgOptions& options = {});
+
+}  // namespace ncb

@@ -1,0 +1,27 @@
+// Basic vocabulary types shared across the ncb library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ncb {
+
+/// Index of an arm (vertex of the relation graph). Arms are 0-based.
+using ArmId = std::int32_t;
+
+/// Index of a combinatorial strategy ("com-arm") inside a feasible set F.
+using StrategyId = std::int32_t;
+
+/// Discrete time slot, 0-based. The paper's `t`.
+using TimeSlot = std::int64_t;
+
+/// A combinatorial strategy: a sorted set of distinct arms.
+using ArmSet = std::vector<ArmId>;
+
+/// Sentinel for "no arm".
+inline constexpr ArmId kNoArm = -1;
+
+/// Sentinel for "no strategy".
+inline constexpr StrategyId kNoStrategy = -1;
+
+}  // namespace ncb

@@ -1,0 +1,100 @@
+#include "sim/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dfl_sso.hpp"
+#include "core/random_policy.hpp"
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(DecomposeSinglePlay, HandComputed) {
+  const auto inst = bernoulli_instance(empty_graph(3), {0.9, 0.5, 0.7});
+  RunResult result;
+  result.scenario = Scenario::kSso;
+  result.play_counts = {10, 4, 6};
+  const auto d = decompose_single_play(result, inst);
+  // Contributions: arm0: 0; arm1: 0.4*4 = 1.6; arm2: 0.2*6 = 1.2.
+  EXPECT_NEAR(d.total, 2.8, 1e-9);
+  ASSERT_EQ(d.rows.size(), 3u);
+  EXPECT_EQ(d.rows[0].arm, 1);  // largest contribution first
+  EXPECT_NEAR(d.rows[0].contribution, 1.6, 1e-9);
+  EXPECT_EQ(d.rows[1].arm, 2);
+  EXPECT_EQ(d.rows[2].arm, 0);
+  EXPECT_DOUBLE_EQ(d.rows[2].contribution, 0.0);
+}
+
+TEST(DecomposeSinglePlay, SsrUsesSideGaps) {
+  // Path 0-1-2: u = [mu0+mu1, mu0+mu1+mu2, mu1+mu2].
+  const auto inst = bernoulli_instance(path_graph(3), {0.5, 0.2, 0.4});
+  RunResult result;
+  result.scenario = Scenario::kSsr;
+  result.play_counts = {5, 5, 5};
+  const auto d = decompose_single_play(result, inst);
+  // u = [0.7, 1.1, 0.6]; gaps = [0.4, 0, 0.5]; total = 5*(0.4+0+0.5).
+  EXPECT_NEAR(d.total, 4.5, 1e-9);
+}
+
+TEST(DecomposeSinglePlay, MatchesRunPseudoRegret) {
+  Xoshiro256 rng(4);
+  auto inst = random_bernoulli_instance(erdos_renyi(10, 0.3, rng), rng);
+  Environment env(inst, 9);
+  DflSso policy;
+  RunnerOptions opts;
+  opts.horizon = 500;
+  const auto run = run_single_play(policy, env, Scenario::kSso, opts);
+  const auto d = decompose_single_play(run, inst);
+  double pseudo_total = 0.0;
+  for (const double pr : run.per_slot_pseudo_regret) pseudo_total += pr;
+  EXPECT_NEAR(d.total, pseudo_total, 1e-6);
+}
+
+TEST(DecomposeSinglePlay, SizeMismatchThrows) {
+  const auto inst = bernoulli_instance(empty_graph(3), {0.9, 0.5, 0.7});
+  RunResult result;
+  result.play_counts = {1, 2};
+  EXPECT_THROW((void)decompose_single_play(result, inst),
+               std::invalid_argument);
+}
+
+TEST(DecomposeCombinatorial, BestStrategyArmsHaveZeroGap) {
+  const auto inst = bernoulli_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  RunResult result;
+  result.scenario = Scenario::kCso;
+  result.play_counts = {3, 10, 2, 10};
+  const auto d =
+      decompose_combinatorial(result, inst, *family, Scenario::kCso);
+  // Optimal CSO strategy is {1,3}; arms 1 and 3 must carry zero gap.
+  for (const auto& row : d.rows) {
+    if (row.arm == 1 || row.arm == 3) EXPECT_DOUBLE_EQ(row.gap, 0.0);
+  }
+  EXPECT_GT(d.total, 0.0);
+}
+
+TEST(DecomposeCombinatorial, WrongScenarioThrows) {
+  const auto inst = bernoulli_instance(path_graph(3), {0.5, 0.5, 0.5});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  RunResult result;
+  result.play_counts = {0, 0, 0};
+  EXPECT_THROW(
+      (void)decompose_combinatorial(result, inst, *family, Scenario::kSso),
+      std::invalid_argument);
+}
+
+TEST(RegretDecomposition, ToStringTopK) {
+  const auto inst = bernoulli_instance(empty_graph(3), {0.9, 0.5, 0.7});
+  RunResult result;
+  result.scenario = Scenario::kSso;
+  result.play_counts = {10, 4, 6};
+  const auto text = decompose_single_play(result, inst).to_string(2);
+  EXPECT_NE(text.find("total pseudo-regret"), std::string::npos);
+  // Only top 2 rows plus header plus total = rows limited.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace ncb

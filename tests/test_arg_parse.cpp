@@ -1,0 +1,66 @@
+#include "util/arg_parse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncb {
+namespace {
+
+ArgParse parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return ArgParse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParse, EqualsForm) {
+  const auto args = parse({"prog", "--horizon=5000", "--p=0.6"});
+  EXPECT_EQ(args.get_int("horizon", 0), 5000);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.6);
+}
+
+TEST(ArgParse, SpaceForm) {
+  const auto args = parse({"prog", "--arms", "64"});
+  EXPECT_EQ(args.get_int("arms", 0), 64);
+}
+
+TEST(ArgParse, BooleanFlag) {
+  const auto args = parse({"prog", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(ArgParse, ExplicitBooleanValues) {
+  const auto args = parse({"prog", "--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(ArgParse, Fallbacks) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_EQ(args.get_string("name", "dfl"), "dfl");
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+}
+
+TEST(ArgParse, PositionalArguments) {
+  const auto args = parse({"prog", "input.txt", "--flag", "output.txt"});
+  // "--flag output.txt" binds output.txt as the flag's value.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.get_string("flag", ""), "output.txt");
+}
+
+TEST(ArgParse, ProgramName) {
+  const auto args = parse({"bench_fig3"});
+  EXPECT_EQ(args.program(), "bench_fig3");
+}
+
+TEST(ArgParse, LastValueWins) {
+  const auto args = parse({"prog", "--n=1", "--n=2"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace ncb

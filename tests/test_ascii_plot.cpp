@@ -1,0 +1,78 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncb {
+namespace {
+
+TEST(AsciiPlot, EmptyInputHandled) {
+  const auto text = render_plot(std::vector<double>{});
+  EXPECT_NE(text.find("(empty plot)"), std::string::npos);
+}
+
+TEST(AsciiPlot, SingleSeriesRenders) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 100; ++i) ramp.push_back(i * 0.1);
+  PlotOptions opts;
+  opts.title = "ramp";
+  const auto text = render_plot(ramp, opts);
+  EXPECT_NE(text.find("ramp"), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, MultiSeriesLegend) {
+  const std::vector<PlotSeries> series{
+      {"up", {0, 1, 2, 3}}, {"down", {3, 2, 1, 0}}};
+  const auto text = render_plot(series);
+  EXPECT_NE(text.find("legend"), std::string::npos);
+  EXPECT_NE(text.find("up"), std::string::npos);
+  EXPECT_NE(text.find("down"), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  const auto text = render_plot(std::vector<double>{2.0, 2.0, 2.0});
+  EXPECT_FALSE(text.empty());
+}
+
+TEST(AsciiPlot, YZeroForcesZeroIntoRange) {
+  PlotOptions opts;
+  opts.y_zero = true;
+  opts.height = 8;
+  const auto text = render_plot(std::vector<double>{5.0, 6.0, 7.0}, opts);
+  // Zero must appear on some axis tick.
+  EXPECT_NE(text.find("0 |"), std::string::npos);
+}
+
+TEST(AsciiPlot, IgnoresNonFiniteValues) {
+  std::vector<double> vals{1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  const auto text = render_plot(vals);
+  EXPECT_FALSE(text.empty());
+}
+
+TEST(Downsample, ShortSeriesUnchanged) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_EQ(downsample(v, 10), v);
+}
+
+TEST(Downsample, ReducesToRequestedLength) {
+  std::vector<double> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const auto d = downsample(v, 50);
+  ASSERT_EQ(d.size(), 50u);
+  EXPECT_DOUBLE_EQ(d.front(), 0.0);
+  // Strided sampling keeps ordering.
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_GT(d[i], d[i - 1]);
+}
+
+TEST(Downsample, XAxisLabelsUseStep) {
+  PlotOptions opts;
+  opts.x_step = 10;
+  opts.x_offset = 100;
+  const auto text = render_plot(std::vector<double>{1, 2, 3, 4}, opts);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  EXPECT_NE(text.find("130"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncb

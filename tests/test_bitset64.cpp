@@ -1,0 +1,140 @@
+#include "util/bitset64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ncb {
+namespace {
+
+TEST(Bitset64, StartsEmpty) {
+  Bitset64 b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(Bitset64, SetTestReset) {
+  Bitset64 b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(Bitset64, ClearRemovesAll) {
+  Bitset64 b(70);
+  for (std::size_t i = 0; i < 70; i += 3) b.set(i);
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset64, OrUnion) {
+  Bitset64 a(128), b(128);
+  a.set(1);
+  a.set(100);
+  b.set(2);
+  b.set(100);
+  a |= b;
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(100));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Bitset64, AndIntersection) {
+  Bitset64 a(80), b(80);
+  a.set(5);
+  a.set(70);
+  b.set(70);
+  b.set(9);
+  a &= b;
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(70));
+}
+
+TEST(Bitset64, AndNot) {
+  Bitset64 a(80), b(80);
+  a.set(5);
+  a.set(70);
+  b.set(70);
+  a.and_not(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_TRUE(a.test(5));
+}
+
+TEST(Bitset64, SubsetRelation) {
+  Bitset64 small(100), big(100);
+  small.set(10);
+  small.set(80);
+  big.set(10);
+  big.set(80);
+  big.set(90);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+}
+
+TEST(Bitset64, EmptyIsSubsetOfAnything) {
+  Bitset64 empty(64), any(64);
+  any.set(3);
+  EXPECT_TRUE(empty.is_subset_of(any));
+  EXPECT_TRUE(empty.is_subset_of(empty));
+}
+
+TEST(Bitset64, Intersects) {
+  Bitset64 a(128), b(128), c(128);
+  a.set(64);
+  b.set(64);
+  c.set(65);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset64, Equality) {
+  Bitset64 a(64), b(64), c(65);
+  a.set(1);
+  b.set(1);
+  EXPECT_EQ(a, b);
+  b.set(2);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Bitset64, ToIndicesAscending) {
+  Bitset64 b(200);
+  const std::vector<std::int32_t> expected{0, 63, 64, 127, 128, 199};
+  for (const auto i : expected) b.set(static_cast<std::size_t>(i));
+  EXPECT_EQ(b.to_indices(), expected);
+}
+
+TEST(Bitset64, ForEachVisitsAllSetBits) {
+  Bitset64 b(150);
+  std::vector<std::int32_t> expected;
+  for (std::size_t i = 0; i < 150; i += 7) {
+    b.set(i);
+    expected.push_back(static_cast<std::int32_t>(i));
+  }
+  std::vector<std::int32_t> visited;
+  b.for_each([&](std::int32_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(Bitset64, CountAcrossWordBoundaries) {
+  Bitset64 b(256);
+  for (std::size_t i = 0; i < 256; ++i) b.set(i);
+  EXPECT_EQ(b.count(), 256u);
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,134 @@
+#include "graph/clique_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(GreedyCliqueCover, CompleteGraphIsOneClique) {
+  const Graph g = complete_graph(8);
+  const auto cover = greedy_clique_cover(g);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].size(), 8u);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+}
+
+TEST(GreedyCliqueCover, EmptyGraphNeedsAllSingletons) {
+  const Graph g = empty_graph(6);
+  const auto cover = greedy_clique_cover(g);
+  EXPECT_EQ(cover.size(), 6u);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+}
+
+TEST(GreedyCliqueCover, DisjointCliquesRecovered) {
+  const Graph g = disjoint_cliques(4, 5);
+  const auto cover = greedy_clique_cover(g);
+  EXPECT_EQ(cover.size(), 4u);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+}
+
+TEST(GreedyCliqueCover, ZeroVertexGraph) {
+  const Graph g(0);
+  EXPECT_TRUE(greedy_clique_cover(g).empty());
+}
+
+TEST(GreedyCliqueCover, PathNeedsAboutHalf) {
+  const Graph g = path_graph(8);
+  const auto cover = greedy_clique_cover(g);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+  // Path of 8: optimal clique cover is 4 edges; greedy gets ≤ 8.
+  EXPECT_GE(cover.size(), 4u);
+  EXPECT_LE(cover.size(), 8u);
+}
+
+TEST(ExactCliqueCover, PathOptimal) {
+  const Graph g = path_graph(8);
+  const auto cover = exact_clique_cover(g);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+  EXPECT_EQ(cover.size(), 4u);
+}
+
+TEST(ExactCliqueCover, CycleOddVsEven) {
+  // Even cycle C6 covers with 3 edges; odd cycle C5 needs 3 (two edges + one
+  // singleton).
+  const auto even = exact_clique_cover(cycle_graph(6));
+  EXPECT_EQ(even.size(), 3u);
+  const auto odd = exact_clique_cover(cycle_graph(5));
+  EXPECT_EQ(odd.size(), 3u);
+}
+
+TEST(ExactCliqueCover, NeverLargerThanGreedy) {
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = erdos_renyi(12, 0.5, rng);
+    const auto exact = exact_clique_cover(g);
+    const auto greedy = greedy_clique_cover(g);
+    EXPECT_TRUE(is_valid_clique_cover(g, exact));
+    EXPECT_LE(exact.size(), greedy.size());
+  }
+}
+
+TEST(ExactCliqueCover, TooLargeThrows) {
+  EXPECT_THROW(exact_clique_cover(empty_graph(30)), std::invalid_argument);
+}
+
+TEST(RandomizedCliqueCover, NeverWorseThanPlainGreedy) {
+  Xoshiro256 rng(5);
+  const Graph g = erdos_renyi(40, 0.5, rng);
+  Xoshiro256 search_rng(9);
+  const auto randomized = randomized_clique_cover(g, 20, search_rng);
+  const auto greedy = greedy_clique_cover(g);
+  EXPECT_TRUE(is_valid_clique_cover(g, randomized));
+  EXPECT_LE(randomized.size(), greedy.size());
+}
+
+TEST(IsValidCliqueCover, RejectsBadCovers) {
+  const Graph g = path_graph(4);
+  // Not a clique: {0, 2} has no edge.
+  EXPECT_FALSE(is_valid_clique_cover(g, {{0, 2}, {1}, {3}}));
+  // Missing vertex 3.
+  EXPECT_FALSE(is_valid_clique_cover(g, {{0, 1}, {2}}));
+  // Duplicate vertex.
+  EXPECT_FALSE(is_valid_clique_cover(g, {{0, 1}, {1, 2}, {3}}));
+  // Empty clique.
+  EXPECT_FALSE(is_valid_clique_cover(g, {{0, 1}, {2, 3}, {}}));
+  // A correct one.
+  EXPECT_TRUE(is_valid_clique_cover(g, {{0, 1}, {2, 3}}));
+}
+
+// Property sweep: greedy cover is always valid across random graphs, and
+// denser graphs need (weakly) fewer cliques on average.
+class CliqueCoverProperty
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(CliqueCoverProperty, GreedyAlwaysValid) {
+  const auto [p, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  const Graph g = erdos_renyi(50, p, rng);
+  const auto cover = greedy_clique_cover(g);
+  EXPECT_TRUE(is_valid_clique_cover(g, cover));
+  EXPECT_GE(cover.size(), 1u);
+  EXPECT_LE(cover.size(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CliqueCoverProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+                       ::testing::Values(11u, 22u, 33u)));
+
+TEST(CliqueCoverDensity, DenserGraphsSmallerCovers) {
+  Xoshiro256 rng(64);
+  double sparse_total = 0, dense_total = 0;
+  for (int i = 0; i < 5; ++i) {
+    sparse_total += static_cast<double>(
+        greedy_clique_cover(erdos_renyi(60, 0.2, rng)).size());
+    dense_total += static_cast<double>(
+        greedy_clique_cover(erdos_renyi(60, 0.8, rng)).size());
+  }
+  EXPECT_LT(dense_total, sparse_total);
+}
+
+}  // namespace
+}  // namespace ncb

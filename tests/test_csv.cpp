@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ncb {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"t", "regret"});
+  csv.row({1.0, 2.5});
+  csv.row({2.0, 3.25});
+  EXPECT_EQ(out.str(), "t,regret\n1,2.5\n2,3.25\n");
+  EXPECT_EQ(csv.rows_written(), 3u);
+}
+
+TEST(CsvWriter, LabelledRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("MOSS", {1.0, 2.0});
+  EXPECT_EQ(out.str(), "MOSS,1,2\n");
+}
+
+TEST(CsvWriter, EscapesSeparator) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter csv(out, ';');
+  csv.row(std::vector<std::string>{"a;b", "c"});
+  EXPECT_EQ(out.str(), "\"a;b\";c\n");
+}
+
+TEST(CsvWriter, FormatsSpecials) {
+  EXPECT_EQ(CsvWriter::format(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(CsvWriter::format(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(CsvWriter::format(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(CsvWriter, FormatRoundTripsIntegers) {
+  EXPECT_EQ(CsvWriter::format(12345.0), "12345");
+  EXPECT_EQ(CsvWriter::format(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,101 @@
+#include "core/cucb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "strategy/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+std::shared_ptr<const FeasibleSet> path_family(std::size_t n, std::size_t m) {
+  return std::make_shared<const FeasibleSet>(
+      make_subset_family(std::make_shared<const Graph>(path_graph(n)), m));
+}
+
+std::vector<Observation> family_obs(const FeasibleSet& f, StrategyId played,
+                                    const std::vector<double>& values) {
+  std::vector<Observation> out;
+  for (const ArmId j : f.neighborhood(played)) {
+    out.push_back({j, values[static_cast<std::size_t>(j)]});
+  }
+  return out;
+}
+
+TEST(Cucb, OnlyComponentArmsUpdate) {
+  const auto family = path_family(4, 2);
+  Cucb policy(family);
+  const auto id = family->find({1});  // Y = {0,1,2} but only arm 1 counts
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {0.9, 0.5, 0.8, 0.7}));
+  EXPECT_EQ(policy.play_count(0), 0);
+  EXPECT_EQ(policy.play_count(1), 1);
+  EXPECT_EQ(policy.play_count(2), 0);
+}
+
+TEST(Cucb, ArmIndexFormula) {
+  const auto family = path_family(3, 1);
+  Cucb policy(family);
+  const auto id = family->find({0});
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {0.4, 0.0, 0.0}));
+  const double expected = 0.4 + std::sqrt(1.5 * std::log(50.0) / 1.0);
+  EXPECT_NEAR(policy.arm_index(0, 50), expected, 1e-12);
+  EXPECT_DOUBLE_EQ(policy.arm_index(1, 50), 1e6);
+}
+
+TEST(Cucb, SelectsModularArgmax) {
+  const auto family = path_family(4, 2);
+  Cucb policy(family);
+  Xoshiro256 rng(3);
+  for (TimeSlot t = 1; t <= 30; ++t) {
+    const StrategyId x = policy.select(t);
+    std::vector<double> values(4);
+    for (auto& v : values) v = rng.uniform();
+    policy.observe(x, t, family_obs(*family, x, values));
+  }
+  const TimeSlot t = 31;
+  std::vector<double> scores(4);
+  for (ArmId i = 0; i < 4; ++i) scores[static_cast<std::size_t>(i)] = policy.arm_index(i, t);
+  const StrategyId chosen = policy.select(t);
+  double best = -1.0;
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family->size()); ++x) {
+    best = std::max(best, modular_value(*family, x, scores));
+  }
+  EXPECT_NEAR(modular_value(*family, chosen, scores), best, 1e-9);
+}
+
+TEST(Cucb, ConvergesToBestModularStrategy) {
+  const auto family = path_family(4, 2);
+  const std::vector<double> means{0.1, 0.9, 0.2, 0.8};
+  Cucb policy(family);
+  Xoshiro256 rng(7);
+  std::vector<std::int64_t> plays(family->size(), 0);
+  for (TimeSlot t = 1; t <= 5000; ++t) {
+    const StrategyId x = policy.select(t);
+    ++plays[static_cast<std::size_t>(x)];
+    std::vector<double> values(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      values[i] = rng.bernoulli(means[i]) ? 1.0 : 0.0;
+    }
+    policy.observe(x, t, family_obs(*family, x, values));
+  }
+  const auto best = family->find({1, 3});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(plays[static_cast<std::size_t>(*best)], 3000);
+}
+
+TEST(Cucb, ResetAndValidation) {
+  const auto family = path_family(3, 1);
+  Cucb policy(family);
+  policy.observe(0, 1, family_obs(*family, 0, {0.5, 0.5, 0.5}));
+  policy.reset();
+  EXPECT_EQ(policy.play_count(0), 0);
+  EXPECT_THROW(Cucb(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,142 @@
+#include "core/dfl_cso.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "strategy/strategy_graph.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+std::shared_ptr<const FeasibleSet> fig2_family() {
+  return std::make_shared<const FeasibleSet>(make_independent_set_family(
+      std::make_shared<const Graph>(path_graph(4))));
+}
+
+std::vector<Observation> family_obs(const FeasibleSet& f, StrategyId played,
+                                    const std::vector<double>& values) {
+  std::vector<Observation> out;
+  for (const ArmId j : f.neighborhood(played)) {
+    out.push_back({j, values[static_cast<std::size_t>(j)]});
+  }
+  return out;
+}
+
+TEST(DflCso, UpdateListsMatchSgClosedNeighborhoods) {
+  const auto family = fig2_family();
+  DflCso policy(family);
+  const Graph sg = build_strategy_graph(*family);
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family->size()); ++x) {
+    const auto& list = policy.update_list(x);
+    const auto& expected = sg.closed_neighborhood(x);
+    ASSERT_EQ(list.size(), expected.size()) << "strategy " << x;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(list[i], static_cast<StrategyId>(expected[i]));
+    }
+  }
+}
+
+TEST(DflCso, ObservableScopeIsSuperset) {
+  const auto family = fig2_family();
+  DflCso faithful(family);
+  DflCso observable(family,
+                    DflCsoOptions{.scope = CsoUpdateScope::kAllObservable});
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family->size()); ++x) {
+    const auto& small = faithful.update_list(x);
+    const auto& big = observable.update_list(x);
+    EXPECT_GE(big.size(), small.size());
+    for (const StrategyId y : small) {
+      EXPECT_NE(std::find(big.begin(), big.end(), y), big.end());
+    }
+  }
+  EXPECT_EQ(observable.name(), "DFL-CSO(all-observable)");
+}
+
+TEST(DflCso, ObserveComputesStrategyRewards) {
+  const auto family = fig2_family();
+  DflCso policy(family);
+  // Play s4 = {0,2} (Y = all arms): rewards 1,2,4,8 per arm.
+  const auto id = family->find({0, 2});
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {1, 2, 4, 8}));
+  // Every SG-closed-neighbor y of s4 gets R_y = sum of its component arms.
+  for (const StrategyId y : policy.update_list(*id)) {
+    double expected = 0.0;
+    for (const ArmId a : family->strategy(y)) {
+      expected += std::pow(2.0, static_cast<double>(a));
+    }
+    EXPECT_EQ(policy.observation_count(y), 1);
+    EXPECT_DOUBLE_EQ(policy.empirical_mean(y), expected) << "strategy " << y;
+  }
+}
+
+TEST(DflCso, UnupdatedStrategiesKeepInfiniteIndex) {
+  const auto family = fig2_family();
+  DflCso policy(family);
+  const auto id = family->find({3});
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {0, 0, 0.5, 0.5}));
+  // s0 = {0} is not observable from {3} (Y = {2,3}).
+  const auto id0 = family->find({0});
+  EXPECT_TRUE(std::isinf(policy.index(*id0, 2)));
+}
+
+TEST(DflCso, SelectPrefersUnobserved) {
+  const auto family = fig2_family();
+  DflCso policy(family);
+  const auto first = policy.select(1);
+  EXPECT_GE(first, 0);
+  EXPECT_LT(first, static_cast<StrategyId>(family->size()));
+}
+
+TEST(DflCso, IndexUsesFamilySizeAsK) {
+  const auto family = fig2_family();
+  DflCso policy(family);
+  const auto id = family->find({0});
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {1, 1, 0, 0}));
+  // O = 1, mean = 1 (strategy {0} reward = arm0 = 1). ratio = t/(7·1).
+  const TimeSlot t = 70;
+  EXPECT_NEAR(policy.index(*id, t), 1.0 + std::sqrt(std::log(10.0)), 1e-12);
+}
+
+TEST(DflCso, ResetClearsStats) {
+  const auto family = fig2_family();
+  DflCso policy(family);
+  policy.observe(0, 1, family_obs(*family, 0, {1, 1, 1, 1}));
+  policy.reset();
+  EXPECT_EQ(policy.observation_count(0), 0);
+}
+
+TEST(DflCso, ConvergesToBestStrategy) {
+  // Means: arm1 = 0.9 best single... strategies are ISs of the path; the
+  // best CSO strategy is {1,3}: λ = 0.9 + 0.8 = 1.7.
+  const auto family = fig2_family();
+  const std::vector<double> means{0.1, 0.9, 0.2, 0.8};
+  DflCso policy(family);
+  Xoshiro256 rng(3);
+  std::vector<std::int64_t> plays(family->size(), 0);
+  for (TimeSlot t = 1; t <= 5000; ++t) {
+    const StrategyId x = policy.select(t);
+    ++plays[static_cast<std::size_t>(x)];
+    std::vector<double> values(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      values[i] = rng.bernoulli(means[i]) ? 1.0 : 0.0;
+    }
+    policy.observe(x, t, family_obs(*family, x, values));
+  }
+  const auto best = family->find({1, 3});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_GT(plays[static_cast<std::size_t>(*best)], 3500);
+}
+
+TEST(DflCso, NullFamilyThrows) {
+  EXPECT_THROW(DflCso(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncb

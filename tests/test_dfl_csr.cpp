@@ -1,0 +1,146 @@
+#include "core/dfl_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+std::shared_ptr<const FeasibleSet> path_family(std::size_t n, std::size_t m) {
+  return std::make_shared<const FeasibleSet>(
+      make_subset_family(std::make_shared<const Graph>(path_graph(n)), m));
+}
+
+std::vector<Observation> family_obs(const FeasibleSet& f, StrategyId played,
+                                    const std::vector<double>& values) {
+  std::vector<Observation> out;
+  for (const ArmId j : f.neighborhood(played)) {
+    out.push_back({j, values[static_cast<std::size_t>(j)]});
+  }
+  return out;
+}
+
+TEST(DflCsr, UnobservedArmsGetSentinelScore) {
+  const auto family = path_family(4, 2);
+  DflCsr policy(family);
+  EXPECT_DOUBLE_EQ(policy.arm_score(0, 1), 1e6);
+}
+
+TEST(DflCsr, ArmScoreFormulaHandComputed) {
+  const auto family = path_family(4, 2);
+  DflCsr policy(family);
+  // Observe arm 1 once with value 0.5 (play {1}: Y = {0,1,2}).
+  const auto id = family->find({1});
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {0.3, 0.5, 0.7, 0.0}));
+  EXPECT_EQ(policy.observation_count(1), 1);
+  EXPECT_DOUBLE_EQ(policy.empirical_mean(1), 0.5);
+  // Score at t: X̄ + sqrt(max(ln(t^{2/3}/(K·O)),0)/O), K = 4, O = 1.
+  const TimeSlot t = 1000;
+  const double ratio = std::pow(1000.0, 2.0 / 3.0) / 4.0;
+  EXPECT_NEAR(policy.arm_score(1, t), 0.5 + std::sqrt(std::log(ratio)), 1e-12);
+}
+
+TEST(DflCsr, LogClampedAtZero) {
+  const auto family = path_family(4, 2);
+  DflCsr policy(family);
+  const auto id = family->find({1});
+  ASSERT_TRUE(id.has_value());
+  // Observe many times so t^{2/3}/(K·O) < 1 → width 0 → score = mean.
+  for (TimeSlot t = 1; t <= 50; ++t) {
+    policy.observe(*id, t, family_obs(*family, *id, {0.3, 0.5, 0.7, 0.0}));
+  }
+  EXPECT_DOUBLE_EQ(policy.arm_score(1, 2), 0.5);
+}
+
+TEST(DflCsr, ObserveUpdatesWholeNeighborhood) {
+  const auto family = path_family(4, 2);
+  DflCsr policy(family);
+  const auto id = family->find({0, 3});  // Y = {0,1,2,3}
+  ASSERT_TRUE(id.has_value());
+  policy.observe(*id, 1, family_obs(*family, *id, {0.1, 0.2, 0.3, 0.4}));
+  for (ArmId i = 0; i < 4; ++i) {
+    EXPECT_EQ(policy.observation_count(i), 1);
+  }
+  EXPECT_DOUBLE_EQ(policy.empirical_mean(2), 0.3);
+}
+
+TEST(DflCsr, SelectConsistentWithExactOracleScores) {
+  const auto family = path_family(5, 2);
+  DflCsr policy(family);
+  Xoshiro256 rng(9);
+  // Warm up with random plays.
+  for (TimeSlot t = 1; t <= 20; ++t) {
+    const StrategyId x = policy.select(t);
+    std::vector<double> values(5);
+    for (auto& v : values) v = rng.uniform();
+    policy.observe(x, t, family_obs(*family, x, values));
+  }
+  // Selection must maximize the coverage of the published arm scores.
+  const TimeSlot t = 21;
+  std::vector<double> scores(5);
+  for (ArmId i = 0; i < 5; ++i) scores[static_cast<std::size_t>(i)] = policy.arm_score(i, t);
+  const StrategyId chosen = policy.select(t);
+  double best = -1.0;
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family->size()); ++x) {
+    best = std::max(best, coverage_value(*family, x, scores));
+  }
+  EXPECT_NEAR(coverage_value(*family, chosen, scores), best, 1e-9);
+}
+
+TEST(DflCsr, GreedyOracleVariantRuns) {
+  const auto family = path_family(6, 2);
+  DflCsr policy(family, std::make_shared<const GreedyCoverageOracle>());
+  EXPECT_EQ(policy.name(), "DFL-CSR(greedy)");
+  Xoshiro256 rng(5);
+  for (TimeSlot t = 1; t <= 50; ++t) {
+    const StrategyId x = policy.select(t);
+    ASSERT_GE(x, 0);
+    ASSERT_LT(x, static_cast<StrategyId>(family->size()));
+    std::vector<double> values(6);
+    for (auto& v : values) v = rng.uniform();
+    policy.observe(x, t, family_obs(*family, x, values));
+  }
+}
+
+TEST(DflCsr, ConvergesToBestCoverageStrategy) {
+  // Star graph, M = 1: strategy {0} (hub) covers every arm, σ = Σμ. It beats
+  // any leaf strategy regardless of individual means.
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(star_graph(5)), 1));
+  DflCsr policy(family);
+  const std::vector<double> means{0.1, 0.9, 0.8, 0.7, 0.6};
+  Xoshiro256 rng(13);
+  std::vector<std::int64_t> plays(family->size(), 0);
+  for (TimeSlot t = 1; t <= 3000; ++t) {
+    const StrategyId x = policy.select(t);
+    ++plays[static_cast<std::size_t>(x)];
+    std::vector<double> values(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      values[i] = rng.bernoulli(means[i]) ? 1.0 : 0.0;
+    }
+    policy.observe(x, t, family_obs(*family, x, values));
+  }
+  const auto hub = family->find({0});
+  ASSERT_TRUE(hub.has_value());
+  EXPECT_GT(plays[static_cast<std::size_t>(*hub)], 2000);
+}
+
+TEST(DflCsr, ResetClears) {
+  const auto family = path_family(4, 2);
+  DflCsr policy(family);
+  policy.observe(0, 1, family_obs(*family, 0, {0.5, 0.5, 0.5, 0.5}));
+  policy.reset();
+  EXPECT_EQ(policy.observation_count(0), 0);
+}
+
+TEST(DflCsr, NullFamilyThrows) {
+  EXPECT_THROW(DflCsr(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncb

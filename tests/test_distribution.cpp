@@ -1,0 +1,178 @@
+#include "env/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ncb {
+namespace {
+
+TEST(Bernoulli, SamplesAreBinary) {
+  BernoulliDist d(0.4);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(x == 0.0 || x == 1.0);
+  }
+}
+
+TEST(Bernoulli, EmpiricalMeanMatches) {
+  BernoulliDist d(0.7);
+  Xoshiro256 rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 0.7, 0.01);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.7);
+}
+
+TEST(Bernoulli, RejectsOutOfRange) {
+  EXPECT_THROW(BernoulliDist(-0.1), std::invalid_argument);
+  EXPECT_THROW(BernoulliDist(1.1), std::invalid_argument);
+  EXPECT_NO_THROW(BernoulliDist(0.0));
+  EXPECT_NO_THROW(BernoulliDist(1.0));
+}
+
+TEST(Bernoulli, NameAndClone) {
+  BernoulliDist d(0.25);
+  EXPECT_EQ(d.name(), "Bernoulli(0.25)");
+  const auto copy = d.clone();
+  EXPECT_DOUBLE_EQ(copy->mean(), 0.25);
+}
+
+TEST(Beta, MeanFormula) {
+  BetaDist d(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.25);
+}
+
+TEST(Beta, SupportAndEmpiricalMean) {
+  BetaDist d(3.0, 2.0);
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.6, 0.01);
+}
+
+TEST(Beta, RejectsBadParams) {
+  EXPECT_THROW(BetaDist(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(BetaDist(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(Uniform, SupportAndMean) {
+  UniformDist d(0.2, 0.8);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 0.2);
+    EXPECT_LT(x, 0.8);
+  }
+}
+
+TEST(Uniform, Validation) {
+  EXPECT_THROW(UniformDist(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(UniformDist(0.0, 1.5), std::invalid_argument);
+  EXPECT_THROW(UniformDist(0.8, 0.2), std::invalid_argument);
+}
+
+TEST(ClippedGaussian, SamplesClipped) {
+  ClippedGaussianDist d(0.5, 2.0);  // wide sigma → clipping frequent
+  Xoshiro256 rng(5);
+  bool saw_zero = false, saw_one = false;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    if (x == 0.0) saw_zero = true;
+    if (x == 1.0) saw_one = true;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_one);
+}
+
+TEST(ClippedGaussian, MeanAccountsForClipping) {
+  ClippedGaussianDist d(0.5, 0.3);
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.005);
+  // Symmetric around 0.5, so the clipped mean stays 0.5.
+  EXPECT_NEAR(d.mean(), 0.5, 1e-9);
+}
+
+TEST(ClippedGaussian, AsymmetricClippedMean) {
+  // Mean near the upper boundary: clipping pulls the mean below mu.
+  ClippedGaussianDist d(0.9, 0.3);
+  EXPECT_LT(d.mean(), 0.9);
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.005);
+}
+
+TEST(ClippedGaussian, RejectsBadSigma) {
+  EXPECT_THROW(ClippedGaussianDist(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Constant, AlwaysSameValue) {
+  ConstantDist d(0.42);
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 0.42);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.42);
+  EXPECT_THROW(ConstantDist(1.5), std::invalid_argument);
+}
+
+// Parameterized support/mean contract over all distribution types.
+class DistributionContract
+    : public ::testing::TestWithParam<int> {
+ protected:
+  DistributionPtr make() const {
+    switch (GetParam()) {
+      case 0: return std::make_unique<BernoulliDist>(0.3);
+      case 1: return std::make_unique<BetaDist>(2.0, 3.0);
+      case 2: return std::make_unique<UniformDist>(0.1, 0.9);
+      case 3: return std::make_unique<ClippedGaussianDist>(0.4, 0.2);
+      default: return std::make_unique<ConstantDist>(0.6);
+    }
+  }
+};
+
+TEST_P(DistributionContract, SupportInUnitInterval) {
+  const auto d = make();
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = d->sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST_P(DistributionContract, EmpiricalMeanMatchesDeclared) {
+  const auto d = make();
+  Xoshiro256 rng(43);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d->sample(rng);
+  EXPECT_NEAR(sum / n, d->mean(), 0.01);
+}
+
+TEST_P(DistributionContract, CloneIsIndependentAndEqual) {
+  const auto d = make();
+  const auto copy = d->clone();
+  EXPECT_DOUBLE_EQ(copy->mean(), d->mean());
+  EXPECT_EQ(copy->name(), d->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, DistributionContract,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,82 @@
+#include "env/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(InstanceIo, RoundTripBernoulli) {
+  const auto inst = bernoulli_instance(path_graph(3), {0.1, 0.5, 0.9});
+  const auto parsed = parse_instance(to_text(inst));
+  EXPECT_EQ(parsed.num_arms(), 3u);
+  EXPECT_EQ(parsed.means(), inst.means());
+  EXPECT_EQ(parsed.graph().edges(), inst.graph().edges());
+  EXPECT_EQ(parsed.best_arm(), inst.best_arm());
+}
+
+TEST(InstanceIo, RoundTripMixedDistributions) {
+  std::vector<DistributionPtr> arms;
+  arms.push_back(std::make_unique<BernoulliDist>(0.25));
+  arms.push_back(std::make_unique<BetaDist>(2.0, 5.0));
+  arms.push_back(std::make_unique<UniformDist>(0.1, 0.9));
+  arms.push_back(std::make_unique<ClippedGaussianDist>(0.4, 0.2));
+  arms.push_back(std::make_unique<ConstantDist>(0.6));
+  const BanditInstance inst(cycle_graph(5), std::move(arms));
+  const auto parsed = parse_instance(to_text(inst));
+  ASSERT_EQ(parsed.num_arms(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(parsed.means()[i], inst.means()[i], 1e-9) << "arm " << i;
+    EXPECT_EQ(parsed.arm(static_cast<ArmId>(i)).name(),
+              inst.arm(static_cast<ArmId>(i)).name());
+  }
+}
+
+TEST(InstanceIo, RoundTripRandomInstances) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto inst = random_bernoulli_instance(erdos_renyi(15, 0.3, rng), rng);
+    const auto parsed = parse_instance(to_text(inst));
+    EXPECT_EQ(parsed.graph().edges(), inst.graph().edges());
+    for (std::size_t i = 0; i < inst.num_arms(); ++i) {
+      EXPECT_NEAR(parsed.means()[i], inst.means()[i], 1e-9);
+    }
+  }
+}
+
+TEST(InstanceIo, CommentsIgnored) {
+  const auto inst = parse_instance(
+      "# archived experiment\nncb-instance v1\ngraph 2 1\n0 1\narms 2\n"
+      "bernoulli 0.5  # arm 0\nconstant 0.25\n");
+  EXPECT_EQ(inst.num_arms(), 2u);
+  EXPECT_DOUBLE_EQ(inst.means()[1], 0.25);
+}
+
+TEST(InstanceIo, MalformedInputsThrow) {
+  EXPECT_THROW((void)parse_instance(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_instance("wrong header\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_instance("ncb-instance v1\ngraph 2 1\n0 1\n"),
+               std::invalid_argument);  // missing arms
+  EXPECT_THROW(
+      (void)parse_instance(
+          "ncb-instance v1\ngraph 2 0\narms 3\nbernoulli 0.5\n"),
+      std::invalid_argument);  // arm/vertex mismatch
+  EXPECT_THROW(
+      (void)parse_instance(
+          "ncb-instance v1\ngraph 1 0\narms 1\nmystery 0.5\n"),
+      std::invalid_argument);  // unknown kind
+  EXPECT_THROW(
+      (void)parse_instance("ncb-instance v1\ngraph 1 0\narms 1\nbernoulli\n"),
+      std::invalid_argument);  // missing parameter
+}
+
+TEST(InstanceIo, DistributionValidationStillApplies) {
+  EXPECT_THROW(
+      (void)parse_instance(
+          "ncb-instance v1\ngraph 1 0\narms 1\nbernoulli 1.5\n"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,95 @@
+#include "core/exp3_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+std::vector<Observation> closed_obs(const Graph& g, ArmId played,
+                                    const std::vector<double>& values) {
+  std::vector<Observation> out;
+  for (const ArmId j : g.closed_neighborhood(played)) {
+    out.push_back({j, values[static_cast<std::size_t>(j)]});
+  }
+  return out;
+}
+
+TEST(Exp3Set, StartsUniform) {
+  Exp3Set policy;
+  policy.reset(empty_graph(4));
+  (void)policy.select(1);
+  for (ArmId i = 0; i < 4; ++i) {
+    EXPECT_NEAR(policy.probability(i), 0.25, 1e-12);
+  }
+}
+
+TEST(Exp3Set, ObservationProbabilitySumsNeighborhood) {
+  const Graph g = star_graph(4);
+  Exp3Set policy;
+  policy.reset(g);
+  (void)policy.select(1);
+  // Uniform p = 1/4. Hub's q = p_0 + p_1 + p_2 + p_3 = 1.
+  EXPECT_NEAR(policy.observation_probability(0), 1.0, 1e-9);
+  // Leaf's q = p_leaf + p_hub = 1/2.
+  EXPECT_NEAR(policy.observation_probability(1), 0.5, 1e-9);
+}
+
+TEST(Exp3Set, GoodArmGainsProbability) {
+  const Graph g = empty_graph(3);
+  Exp3Set policy(Exp3SetOptions{.eta = 0.1});
+  policy.reset(g);
+  for (TimeSlot t = 1; t <= 200; ++t) {
+    const ArmId a = policy.select(t);
+    std::vector<double> values{0.1, 0.9, 0.1};
+    policy.observe(a, t, closed_obs(g, a, values));
+  }
+  (void)policy.select(201);
+  EXPECT_GT(policy.probability(1), policy.probability(0));
+  EXPECT_GT(policy.probability(1), policy.probability(2));
+}
+
+TEST(Exp3Set, SideObservationsUpdateAllRevealedArms) {
+  // On the complete graph every slot reveals everything, so the good arm's
+  // probability should rise quickly even when never played.
+  const Graph g = complete_graph(3);
+  Exp3Set policy(Exp3SetOptions{.eta = 0.2});
+  policy.reset(g);
+  for (TimeSlot t = 1; t <= 100; ++t) {
+    const ArmId a = policy.select(t);
+    std::vector<double> values{0.0, 0.0, 1.0};
+    policy.observe(a, t, closed_obs(g, a, values));
+  }
+  (void)policy.select(101);
+  EXPECT_GT(policy.probability(2), 0.8);
+}
+
+TEST(Exp3Set, ProbabilitiesRemainDistribution) {
+  Xoshiro256 rng(3);
+  const Graph g = erdos_renyi(8, 0.4, rng);
+  Exp3Set policy;
+  policy.reset(g);
+  for (TimeSlot t = 1; t <= 300; ++t) {
+    const ArmId a = policy.select(t);
+    std::vector<double> values(8);
+    for (auto& v : values) v = rng.uniform();
+    policy.observe(a, t, closed_obs(g, a, values));
+  }
+  (void)policy.select(301);
+  double total = 0.0;
+  for (ArmId i = 0; i < 8; ++i) {
+    EXPECT_GT(policy.probability(i), 0.0);
+    total += policy.probability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Exp3Set, Validation) {
+  EXPECT_THROW(Exp3Set(Exp3SetOptions{.eta = 0.0}), std::invalid_argument);
+  Exp3Set unreset;
+  EXPECT_THROW((void)unreset.select(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ncb

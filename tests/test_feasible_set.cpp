@@ -1,0 +1,211 @@
+#include "strategy/feasible_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+std::shared_ptr<const Graph> shared_path(std::size_t n) {
+  return std::make_shared<const Graph>(path_graph(n));
+}
+
+TEST(SubsetFamily, AtMostMCounts) {
+  // K=5, M=2: 5 singletons + 10 pairs = 15.
+  const auto f = make_subset_family(shared_path(5), 2);
+  EXPECT_EQ(f.size(), 15u);
+  EXPECT_EQ(f.kind(), FamilyKind::kTopMSubsets);
+  EXPECT_EQ(f.max_strategy_size(), 2u);
+}
+
+TEST(SubsetFamily, ExactMCounts) {
+  // K=5, M=2: exactly the 10 pairs.
+  const auto f = make_subset_family(shared_path(5), 2, /*exact=*/true);
+  EXPECT_EQ(f.size(), 10u);
+  EXPECT_EQ(f.kind(), FamilyKind::kExactMSubsets);
+  for (StrategyId x = 0; x < 10; ++x) {
+    EXPECT_EQ(f.strategy(x).size(), 2u);
+  }
+}
+
+TEST(SubsetFamily, RejectsBadM) {
+  EXPECT_THROW(make_subset_family(shared_path(3), 0), std::invalid_argument);
+  EXPECT_THROW(make_subset_family(shared_path(3), 4), std::invalid_argument);
+}
+
+TEST(SubsetFamily, StrategiesSortedBySizeThenLex) {
+  const auto f = make_subset_family(shared_path(3), 2);
+  EXPECT_EQ(f.strategy(0), (ArmSet{0}));
+  EXPECT_EQ(f.strategy(1), (ArmSet{1}));
+  EXPECT_EQ(f.strategy(2), (ArmSet{2}));
+  EXPECT_EQ(f.strategy(3), (ArmSet{0, 1}));
+  EXPECT_EQ(f.strategy(4), (ArmSet{0, 2}));
+  EXPECT_EQ(f.strategy(5), (ArmSet{1, 2}));
+}
+
+TEST(IndependentSetFamily, MatchesPaperFig2) {
+  const auto f = make_independent_set_family(shared_path(4));
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_EQ(f.kind(), FamilyKind::kIndependentSets);
+  EXPECT_EQ(f.strategy(0), (ArmSet{0}));
+  EXPECT_EQ(f.strategy(4), (ArmSet{0, 2}));
+  EXPECT_EQ(f.strategy(5), (ArmSet{0, 3}));
+  EXPECT_EQ(f.strategy(6), (ArmSet{1, 3}));
+}
+
+TEST(IndependentSetFamily, NeighborhoodsMatchPaperFig2) {
+  // Y values from the paper (0-indexed): Y(s1)={0,1}, Y(s2)={0,1,2},
+  // Y(s3)={1,2,3}, Y(s4)={2,3}, Y(s5)=Y(s6)=Y(s7)={0,1,2,3}.
+  const auto f = make_independent_set_family(shared_path(4));
+  EXPECT_EQ(f.neighborhood(0), (ArmSet{0, 1}));
+  EXPECT_EQ(f.neighborhood(1), (ArmSet{0, 1, 2}));
+  EXPECT_EQ(f.neighborhood(2), (ArmSet{1, 2, 3}));
+  EXPECT_EQ(f.neighborhood(3), (ArmSet{2, 3}));
+  EXPECT_EQ(f.neighborhood(4), (ArmSet{0, 1, 2, 3}));
+  EXPECT_EQ(f.neighborhood(5), (ArmSet{0, 1, 2, 3}));
+  EXPECT_EQ(f.neighborhood(6), (ArmSet{0, 1, 2, 3}));
+  EXPECT_EQ(f.max_neighborhood_size(), 4u);
+}
+
+TEST(FeasibleSet, BitsAgreeWithLists) {
+  const auto f = make_subset_family(shared_path(5), 3);
+  for (StrategyId x = 0; x < static_cast<StrategyId>(f.size()); ++x) {
+    EXPECT_EQ(f.strategy_bits(x).to_indices(),
+              std::vector<std::int32_t>(f.strategy(x).begin(),
+                                        f.strategy(x).end()));
+    EXPECT_EQ(f.neighborhood_bits(x).to_indices(),
+              std::vector<std::int32_t>(f.neighborhood(x).begin(),
+                                        f.neighborhood(x).end()));
+  }
+}
+
+TEST(FeasibleSet, StrategyIsSubsetOfItsNeighborhood) {
+  const auto f = make_subset_family(shared_path(6), 2);
+  for (StrategyId x = 0; x < static_cast<StrategyId>(f.size()); ++x) {
+    EXPECT_TRUE(f.strategy_bits(x).is_subset_of(f.neighborhood_bits(x)));
+  }
+}
+
+TEST(FeasibleSet, FindLocatesStrategies) {
+  const auto f = make_subset_family(shared_path(4), 2);
+  const auto id = f.find({1, 3});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(f.strategy(*id), (ArmSet{1, 3}));
+  EXPECT_FALSE(f.find({0, 1, 2}).has_value());
+}
+
+TEST(ExplicitFamily, SortsInput) {
+  const auto f = make_explicit_family(shared_path(4), {{2, 0}, {3}});
+  EXPECT_EQ(f.strategy(0), (ArmSet{0, 2}));
+  EXPECT_EQ(f.strategy(1), (ArmSet{3}));
+  EXPECT_EQ(f.kind(), FamilyKind::kExplicit);
+}
+
+TEST(ExplicitFamily, RejectsInvalid) {
+  EXPECT_THROW(make_explicit_family(shared_path(3), {}),
+               std::invalid_argument);
+  EXPECT_THROW(make_explicit_family(shared_path(3), {{}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_explicit_family(shared_path(3), {{0}, {0}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_explicit_family(shared_path(3), {{5}}),
+               std::out_of_range);
+  EXPECT_THROW(make_explicit_family(shared_path(3), {{0, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(make_explicit_family(nullptr, {{0}}), std::invalid_argument);
+}
+
+TEST(FeasibleSet, ToStringListsStrategies) {
+  const auto f = make_independent_set_family(shared_path(4));
+  const auto text = f.to_string();
+  EXPECT_NE(text.find("|F|=7"), std::string::npos);
+  EXPECT_NE(text.find("{0,2}"), std::string::npos);
+}
+
+TEST(FeasibleSet, MaxNeighborhoodOnEmptyGraph) {
+  // No edges → Y_x = s_x, so N = M.
+  const auto g = std::make_shared<const Graph>(empty_graph(6));
+  const auto f = make_subset_family(g, 3);
+  EXPECT_EQ(f.max_neighborhood_size(), 3u);
+}
+
+TEST(PartitionMatroidFamily, CapacityOnePerGroup) {
+  // 4 arms in 2 groups of 2, capacity 1: feasible sets are non-empty sets
+  // with at most one arm per group: 4 singletons + 4 cross pairs = 8.
+  const auto f = make_partition_matroid_family(shared_path(4), {0, 0, 1, 1});
+  EXPECT_EQ(f.size(), 8u);
+  EXPECT_EQ(f.kind(), FamilyKind::kPartitionMatroid);
+  EXPECT_FALSE(f.find({0, 1}).has_value());  // same group
+  EXPECT_TRUE(f.find({0, 2}).has_value());
+  EXPECT_TRUE(f.find({1, 3}).has_value());
+}
+
+TEST(PartitionMatroidFamily, CapacityTwoAllowsPairs) {
+  const auto f =
+      make_partition_matroid_family(shared_path(4), {0, 0, 1, 1}, 2);
+  // All non-empty subsets are feasible (each group holds both its arms):
+  // 2^4 - 1 = 15.
+  EXPECT_EQ(f.size(), 15u);
+}
+
+TEST(PartitionMatroidFamily, SingleGroupIsTopCapacity) {
+  const auto matroid =
+      make_partition_matroid_family(shared_path(5), {0, 0, 0, 0, 0}, 2);
+  const auto subsets = make_subset_family(shared_path(5), 2);
+  EXPECT_EQ(matroid.size(), subsets.size());
+}
+
+TEST(PartitionMatroidFamily, Validation) {
+  EXPECT_THROW(
+      (void)make_partition_matroid_family(shared_path(3), {0, 1}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_partition_matroid_family(shared_path(3), {0, -1, 1}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_partition_matroid_family(shared_path(3), {0, 0, 1}, 0),
+      std::invalid_argument);
+  EXPECT_THROW((void)make_partition_matroid_family(nullptr, {0}),
+               std::invalid_argument);
+}
+
+TEST(PartitionMatroidFamily, EveryStrategyRespectsCaps) {
+  const std::vector<int> groups{0, 1, 2, 0, 1, 2, 0};
+  const auto f = make_partition_matroid_family(shared_path(7), groups, 1);
+  for (StrategyId x = 0; x < static_cast<StrategyId>(f.size()); ++x) {
+    std::vector<int> used(3, 0);
+    for (const ArmId i : f.strategy(x)) {
+      ++used[static_cast<std::size_t>(groups[static_cast<std::size_t>(i)])];
+    }
+    for (const int u : used) EXPECT_LE(u, 1);
+  }
+}
+
+// Property: subset family size equals sum of binomials for several (K, M).
+class SubsetFamilySize
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SubsetFamilySize, MatchesBinomialSum) {
+  const auto [k, m] = GetParam();
+  const auto f =
+      make_subset_family(std::make_shared<const Graph>(empty_graph(k)), m);
+  std::size_t expected = 0;
+  // Sum of C(k, j) for j = 1..m.
+  std::size_t binom = 1;
+  for (std::size_t j = 1; j <= m; ++j) {
+    binom = binom * (k - j + 1) / j;
+    expected += binom;
+  }
+  EXPECT_EQ(f.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubsetFamilySize,
+                         ::testing::Values(std::make_tuple(4u, 2u),
+                                           std::make_tuple(6u, 3u),
+                                           std::make_tuple(8u, 2u),
+                                           std::make_tuple(10u, 4u),
+                                           std::make_tuple(5u, 5u)));
+
+}  // namespace
+}  // namespace ncb

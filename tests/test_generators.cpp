@@ -1,0 +1,146 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ncb {
+namespace {
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = complete_graph(10);
+  EXPECT_EQ(g.num_edges(), 45u);
+  for (ArmId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 9u);
+}
+
+TEST(Generators, EmptyGraphHasNoEdges) {
+  const Graph g = empty_graph(8);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, StarGraphStructure) {
+  const Graph g = star_graph(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (ArmId v = 1; v < 6; ++v) {
+    EXPECT_EQ(g.degree(v), 1u);
+    EXPECT_TRUE(g.has_edge(0, v));
+  }
+}
+
+TEST(Generators, PathGraphStructure) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+}
+
+TEST(Generators, PathGraphSingleton) {
+  const Graph g = path_graph(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Generators, CycleGraphStructure) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (ArmId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Generators, GridGraphStructure) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // Edge count: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+  EXPECT_EQ(g.num_edges(), 17u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+TEST(Generators, DisjointCliquesStructure) {
+  const Graph g = disjoint_cliques(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 6u);
+  // No cross-clique edge.
+  EXPECT_FALSE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(4, 7));
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Xoshiro256 rng(1);
+  const Graph zero = erdos_renyi(20, 0.0, rng);
+  EXPECT_EQ(zero.num_edges(), 0u);
+  const Graph one = erdos_renyi(20, 1.0, rng);
+  EXPECT_EQ(one.num_edges(), 190u);
+  EXPECT_THROW(erdos_renyi(5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiDensityNearP) {
+  Xoshiro256 rng(7);
+  const Graph g = erdos_renyi(100, 0.3, rng);
+  const double density =
+      static_cast<double>(g.num_edges()) / (100.0 * 99.0 / 2.0);
+  EXPECT_NEAR(density, 0.3, 0.04);
+}
+
+TEST(Generators, ErdosRenyiDeterministicGivenRngState) {
+  Xoshiro256 a(5), b(5);
+  const Graph g1 = erdos_renyi(30, 0.4, a);
+  const Graph g2 = erdos_renyi(30, 0.4, b);
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(Generators, BarabasiAlbertDegreeSum) {
+  Xoshiro256 rng(11);
+  const Graph g = barabasi_albert(50, 3, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  // Each of the 47 non-seed vertices adds exactly 3 edges; seed clique has 3.
+  EXPECT_EQ(g.num_edges(), 3u + 47u * 3u);
+  EXPECT_THROW(barabasi_albert(2, 3, rng), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertMinDegree) {
+  Xoshiro256 rng(13);
+  const Graph g = barabasi_albert(40, 2, rng);
+  for (ArmId v = 0; v < 40; ++v) EXPECT_GE(g.degree(v), 2u);
+}
+
+TEST(Generators, WattsStrogatzNoRewireIsRingLattice) {
+  Xoshiro256 rng(17);
+  const Graph g = watts_strogatz(12, 2, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 24u);
+  for (ArmId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, WattsStrogatzRewirePreservesEdgeCount) {
+  Xoshiro256 rng(19);
+  const Graph g = watts_strogatz(30, 3, 0.5, rng);
+  EXPECT_EQ(g.num_edges(), 90u);
+  EXPECT_THROW(watts_strogatz(5, 3, 0.5, rng), std::invalid_argument);
+}
+
+// Parameterized density sweep: measured ER density tracks p across the grid.
+class ErdosRenyiDensity
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(ErdosRenyiDensity, TracksP) {
+  const auto [p, seed] = GetParam();
+  Xoshiro256 rng(seed);
+  const std::size_t n = 80;
+  const Graph g = erdos_renyi(n, p, rng);
+  const double pairs = static_cast<double>(n * (n - 1)) / 2.0;
+  const double density = static_cast<double>(g.num_edges()) / pairs;
+  EXPECT_NEAR(density, p, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ErdosRenyiDensity,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,164 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ncb {
+namespace {
+
+Graph paper_fig2_graph() {
+  // The paper's Fig. 2 relation graph: path 1-2-3-4, 0-indexed as 0-1-2-3.
+  return Graph(4, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (ArmId v = 0; v < 5; ++v) {
+    EXPECT_TRUE(g.neighbors(v).empty());
+    EXPECT_EQ(g.closed_neighborhood(v), ArmSet{v});
+  }
+}
+
+TEST(Graph, EdgeListConstruction) {
+  const Graph g = paper_fig2_graph();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, DuplicateEdgesDeduplicated) {
+  Graph g(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  EXPECT_THROW(Graph(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeEdgeRejected) {
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::out_of_range);
+  EXPECT_THROW(Graph(3, {{-1, 0}}), std::out_of_range);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5, {{3, 1}, {3, 0}, {3, 4}, {3, 2}});
+  EXPECT_EQ(g.neighbors(3), (ArmSet{0, 1, 2, 4}));
+}
+
+TEST(Graph, ClosedNeighborhoodsMatchPaperFig2) {
+  // N1={1,2}, N2={1,2,3}, N3={2,3,4}, N4={3,4} — 0-indexed.
+  const Graph g = paper_fig2_graph();
+  EXPECT_EQ(g.closed_neighborhood(0), (ArmSet{0, 1}));
+  EXPECT_EQ(g.closed_neighborhood(1), (ArmSet{0, 1, 2}));
+  EXPECT_EQ(g.closed_neighborhood(2), (ArmSet{1, 2, 3}));
+  EXPECT_EQ(g.closed_neighborhood(3), (ArmSet{2, 3}));
+}
+
+TEST(Graph, BitsetsAgreeWithLists) {
+  const Graph g = paper_fig2_graph();
+  for (ArmId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.closed_neighborhood_bits(v).to_indices(),
+              std::vector<std::int32_t>(g.closed_neighborhood(v).begin(),
+                                        g.closed_neighborhood(v).end()));
+    for (const ArmId j : g.neighbors(v)) {
+      EXPECT_TRUE(g.neighbors_bits(v).test(static_cast<std::size_t>(j)));
+    }
+    EXPECT_FALSE(g.neighbors_bits(v).test(static_cast<std::size_t>(v)));
+  }
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}};
+  Graph g(4, edges);
+  EXPECT_EQ(g.edges(), edges);
+}
+
+TEST(Graph, StrategyNeighborhoodIsUnionOfClosed) {
+  const Graph g = paper_fig2_graph();
+  // Y({0,2}) = N_0 ∪ N_2 = {0,1} ∪ {1,2,3} = {0,1,2,3}.
+  EXPECT_EQ(g.strategy_neighborhood_list({0, 2}), (ArmSet{0, 1, 2, 3}));
+  // Y({3}) = {2,3}.
+  EXPECT_EQ(g.strategy_neighborhood_list({3}), (ArmSet{2, 3}));
+  // Empty strategy → empty set.
+  EXPECT_TRUE(g.strategy_neighborhood_list({}).empty());
+}
+
+TEST(Graph, IndependentSetCheck) {
+  const Graph g = paper_fig2_graph();
+  EXPECT_TRUE(g.is_independent_set({0, 2}));
+  EXPECT_TRUE(g.is_independent_set({0, 3}));
+  EXPECT_TRUE(g.is_independent_set({1, 3}));
+  EXPECT_FALSE(g.is_independent_set({0, 1}));
+  EXPECT_TRUE(g.is_independent_set({2}));
+  EXPECT_TRUE(g.is_independent_set({}));
+}
+
+TEST(Graph, CliqueCheck) {
+  Graph g(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_TRUE(g.is_clique({0, 1, 2}));
+  EXPECT_FALSE(g.is_clique({0, 1, 2, 3}));
+  EXPECT_TRUE(g.is_clique({2, 3}));
+  EXPECT_TRUE(g.is_clique({1}));
+}
+
+TEST(Graph, ComplementProperties) {
+  const Graph g = paper_fig2_graph();
+  const Graph gc = g.complement();
+  EXPECT_EQ(gc.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges() + gc.num_edges(), 6u);  // C(4,2)
+  for (ArmId u = 0; u < 4; ++u) {
+    for (ArmId v = u + 1; v < 4; ++v) {
+      EXPECT_NE(g.has_edge(u, v), gc.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Graph, InducedSubgraphRemapsEdges) {
+  const Graph g = paper_fig2_graph();
+  ArmSet ids;
+  const Graph h = g.induced_subgraph({1, 2, 3}, &ids);
+  EXPECT_EQ(ids, (ArmSet{1, 2, 3}));
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges(), 2u);  // (1,2) and (2,3) survive
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_TRUE(h.has_edge(1, 2));
+  EXPECT_FALSE(h.has_edge(0, 2));
+}
+
+TEST(Graph, InducedSubgraphNonContiguous) {
+  const Graph g = paper_fig2_graph();
+  const Graph h = g.induced_subgraph({0, 3});
+  EXPECT_EQ(h.num_vertices(), 2u);
+  EXPECT_EQ(h.num_edges(), 0u);
+}
+
+TEST(Graph, InducedSubgraphDuplicateRejected) {
+  const Graph g = paper_fig2_graph();
+  EXPECT_THROW(g.induced_subgraph({1, 1}), std::invalid_argument);
+  EXPECT_THROW(g.induced_subgraph({9}), std::out_of_range);
+}
+
+TEST(Graph, ToStringMentionsCounts) {
+  const auto text = paper_fig2_graph().to_string();
+  EXPECT_NE(text.find("V=4"), std::string::npos);
+  EXPECT_NE(text.find("E=3"), std::string::npos);
+}
+
+TEST(Graph, DegreeMatchesNeighbors) {
+  const Graph g = paper_fig2_graph();
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,87 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(EdgeList, RoundTripSmall) {
+  const Graph g = path_graph(4);
+  const Graph parsed = parse_edge_list(to_edge_list(g));
+  EXPECT_EQ(parsed.num_vertices(), 4u);
+  EXPECT_EQ(parsed.edges(), g.edges());
+}
+
+TEST(EdgeList, RoundTripRandom) {
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = erdos_renyi(25, 0.3, rng);
+    const Graph parsed = parse_edge_list(to_edge_list(g));
+    EXPECT_EQ(parsed.edges(), g.edges());
+  }
+}
+
+TEST(EdgeList, EmptyGraph) {
+  const Graph parsed = parse_edge_list("5 0\n");
+  EXPECT_EQ(parsed.num_vertices(), 5u);
+  EXPECT_EQ(parsed.num_edges(), 0u);
+}
+
+TEST(EdgeList, CommentsAndBlanksIgnored) {
+  const Graph parsed = parse_edge_list(
+      "# relation graph\n3 2\n\n0 1  # first edge\n1 2\n");
+  EXPECT_EQ(parsed.num_edges(), 2u);
+  EXPECT_TRUE(parsed.has_edge(0, 1));
+  EXPECT_TRUE(parsed.has_edge(1, 2));
+}
+
+TEST(EdgeList, MalformedHeaderThrows) {
+  EXPECT_THROW((void)parse_edge_list("oops\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_edge_list(""), std::invalid_argument);
+}
+
+TEST(EdgeList, EdgeCountMismatchThrows) {
+  EXPECT_THROW((void)parse_edge_list("3 2\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_edge_list("3 0\n0 1\n"), std::invalid_argument);
+}
+
+TEST(EdgeList, InvalidEdgesRejectedByGraph) {
+  EXPECT_THROW((void)parse_edge_list("3 1\n0 3\n"), std::out_of_range);
+  EXPECT_THROW((void)parse_edge_list("3 1\n1 1\n"), std::invalid_argument);
+}
+
+TEST(EdgeList, ReadFromStream) {
+  std::istringstream in("2 1\n0 1\n");
+  const Graph g = read_edge_list(in);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Dot, ContainsVerticesAndEdges) {
+  const Graph g = path_graph(3);
+  const auto dot = to_dot(g, "relation");
+  EXPECT_NE(dot.find("graph relation {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+}
+
+TEST(Dot, LabelsApplied) {
+  const Graph g = path_graph(2);
+  const std::vector<std::string> labels{"hub", "leaf"};
+  const auto dot = to_dot(g, "G", &labels);
+  EXPECT_NE(dot.find("label=\"hub\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"leaf\""), std::string::npos);
+}
+
+TEST(Dot, LabelSizeMismatchThrows) {
+  const Graph g = path_graph(3);
+  const std::vector<std::string> labels{"a"};
+  EXPECT_THROW((void)to_dot(g, "G", &labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncb

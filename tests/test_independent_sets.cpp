@@ -1,0 +1,154 @@
+#include "graph/independent_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(EnumerateIndependentSets, PaperFig2PathHasSevenStrategies) {
+  // The paper's Fig. 2: 4-arm path, feasible set = 7 independent sets.
+  const Graph g = path_graph(4);
+  const auto sets = enumerate_independent_sets(g);
+  ASSERT_EQ(sets.size(), 7u);
+  const std::vector<ArmSet> expected{
+      {0}, {1}, {2}, {3}, {0, 2}, {0, 3}, {1, 3}};
+  EXPECT_EQ(sets, expected);
+}
+
+TEST(EnumerateIndependentSets, EmptyGraphAllSubsets) {
+  const Graph g = empty_graph(4);
+  // 2^4 - 1 = 15 non-empty subsets.
+  EXPECT_EQ(enumerate_independent_sets(g).size(), 15u);
+}
+
+TEST(EnumerateIndependentSets, CompleteGraphOnlySingletons) {
+  const Graph g = complete_graph(5);
+  const auto sets = enumerate_independent_sets(g);
+  ASSERT_EQ(sets.size(), 5u);
+  for (const auto& s : sets) EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(EnumerateIndependentSets, MaxSizeLimits) {
+  const Graph g = empty_graph(5);
+  // Subsets of size ≤ 2: 5 + 10 = 15.
+  EXPECT_EQ(enumerate_independent_sets(g, 2).size(), 15u);
+  EXPECT_EQ(enumerate_independent_sets(g, 1).size(), 5u);
+}
+
+TEST(EnumerateIndependentSets, AllResultsActuallyIndependent) {
+  Xoshiro256 rng(3);
+  const Graph g = erdos_renyi(10, 0.4, rng);
+  for (const auto& s : enumerate_independent_sets(g)) {
+    EXPECT_TRUE(g.is_independent_set(s));
+  }
+}
+
+TEST(MaximalIndependentSets, PathFour) {
+  const Graph g = path_graph(4);
+  const auto sets = enumerate_maximal_independent_sets(g);
+  // Maximal ISs of P4: {0,2}, {0,3}, {1,3}.
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_NE(std::find(sets.begin(), sets.end(), ArmSet{0, 2}), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), ArmSet{0, 3}), sets.end());
+  EXPECT_NE(std::find(sets.begin(), sets.end(), ArmSet{1, 3}), sets.end());
+}
+
+TEST(MaximalIndependentSets, CompleteGraph) {
+  const auto sets = enumerate_maximal_independent_sets(complete_graph(4));
+  EXPECT_EQ(sets.size(), 4u);
+}
+
+TEST(MaximalIndependentSets, EmptyGraphSingleMaximal) {
+  const auto sets = enumerate_maximal_independent_sets(empty_graph(5));
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0], (ArmSet{0, 1, 2, 3, 4}));
+}
+
+TEST(MaximalIndependentSets, EveryResultIsMaximal) {
+  Xoshiro256 rng(8);
+  const Graph g = erdos_renyi(12, 0.3, rng);
+  for (const auto& s : enumerate_maximal_independent_sets(g)) {
+    EXPECT_TRUE(g.is_independent_set(s));
+    // No vertex can be added.
+    for (ArmId v = 0; v < static_cast<ArmId>(g.num_vertices()); ++v) {
+      if (std::find(s.begin(), s.end(), v) != s.end()) continue;
+      ArmSet extended = s;
+      extended.push_back(v);
+      std::sort(extended.begin(), extended.end());
+      EXPECT_FALSE(g.is_independent_set(extended))
+          << "vertex " << v << " extends a 'maximal' IS";
+    }
+  }
+}
+
+TEST(MaximumIndependentSet, KnownSizes) {
+  EXPECT_EQ(maximum_independent_set(path_graph(4)).size(), 2u);
+  EXPECT_EQ(maximum_independent_set(path_graph(5)).size(), 3u);
+  EXPECT_EQ(maximum_independent_set(cycle_graph(6)).size(), 3u);
+  EXPECT_EQ(maximum_independent_set(cycle_graph(5)).size(), 2u);
+  EXPECT_EQ(maximum_independent_set(complete_graph(7)).size(), 1u);
+  EXPECT_EQ(maximum_independent_set(empty_graph(7)).size(), 7u);
+}
+
+TEST(MaximumWeightIndependentSet, PrefersHeavyVertex) {
+  // Path 0-1-2: weights make the middle vertex worth more than both ends.
+  const Graph g = path_graph(3);
+  const auto s = maximum_weight_independent_set(g, {1.0, 5.0, 1.0});
+  EXPECT_EQ(s, (ArmSet{1}));
+}
+
+TEST(MaximumWeightIndependentSet, PrefersTwoEndsWhenHeavier) {
+  const Graph g = path_graph(3);
+  const auto s = maximum_weight_independent_set(g, {3.0, 5.0, 3.0});
+  EXPECT_EQ(s, (ArmSet{0, 2}));
+}
+
+TEST(MaximumWeightIndependentSet, MatchesBruteForceOnRandomGraphs) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = erdos_renyi(9, 0.4, rng);
+    std::vector<double> weights(9);
+    for (auto& w : weights) w = rng.uniform();
+    // Brute force over all independent sets.
+    double best = 0.0;
+    for (const auto& s : enumerate_independent_sets(g)) {
+      double total = 0.0;
+      for (const ArmId v : s) total += weights[static_cast<std::size_t>(v)];
+      best = std::max(best, total);
+    }
+    const auto found = maximum_weight_independent_set(g, weights);
+    double found_weight = 0.0;
+    for (const ArmId v : found) found_weight += weights[static_cast<std::size_t>(v)];
+    EXPECT_NEAR(found_weight, best, 1e-12);
+    EXPECT_TRUE(g.is_independent_set(found));
+  }
+}
+
+// Property sweep: counts of independent sets and maximal ISs agree with a
+// brute-force bitmask enumeration on random graphs.
+class IndependentSetCount : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndependentSetCount, MatchesBruteForce) {
+  Xoshiro256 rng(GetParam());
+  const std::size_t n = 8;
+  const Graph g = erdos_renyi(n, 0.35, rng);
+  std::size_t brute = 0;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    ArmSet s;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) s.push_back(static_cast<ArmId>(v));
+    }
+    if (g.is_independent_set(s)) ++brute;
+  }
+  EXPECT_EQ(enumerate_independent_sets(g).size(), brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndependentSetCount,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace ncb

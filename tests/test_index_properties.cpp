@@ -1,0 +1,112 @@
+// Index-function properties shared by the DFL family: the exploration
+// bonus must shrink with observations, grow with time, and preserve the
+// ordering guarantees the regret proofs rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dfl_csr.hpp"
+#include "core/dfl_sso.hpp"
+#include "core/dfl_ssr.hpp"
+#include "core/moss.hpp"
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(IndexProperties, DflSsoIndexIncreasesWithT) {
+  DflSso policy;
+  policy.reset(empty_graph(2));
+  policy.observe(0, 1, {{0, 0.5}});
+  double prev = policy.index(0, 2);
+  for (TimeSlot t = 20; t <= 20000; t *= 10) {
+    const double cur = policy.index(0, t);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(IndexProperties, DflSsoIndexDecreasesWithObservations) {
+  DflSso few, many;
+  const Graph g = empty_graph(1);
+  few.reset(g);
+  many.reset(g);
+  few.observe(0, 1, {{0, 0.5}});
+  for (TimeSlot t = 1; t <= 50; ++t) many.observe(0, t, {{0, 0.5}});
+  const TimeSlot t = 100000;
+  EXPECT_GT(few.index(0, t), many.index(0, t));
+}
+
+TEST(IndexProperties, DflSsoIndexNeverBelowMean) {
+  // width >= 0, so index >= empirical mean always.
+  DflSso policy;
+  policy.reset(empty_graph(1));
+  Xoshiro256 rng(3);
+  for (TimeSlot t = 1; t <= 200; ++t) {
+    policy.observe(0, t, {{0, rng.uniform()}});
+    EXPECT_GE(policy.index(0, t), policy.empirical_mean(0) - 1e-12);
+  }
+}
+
+TEST(IndexProperties, DflSsoPureExploitationRegime) {
+  // Once t/(K*O) <= 1, the bonus vanishes and index == mean.
+  DflSso policy;
+  policy.reset(empty_graph(2));
+  for (TimeSlot t = 1; t <= 100; ++t) policy.observe(0, t, {{0, 0.25}});
+  EXPECT_DOUBLE_EQ(policy.index(0, 10), 0.25);  // 10/(2*100) < 1
+}
+
+TEST(IndexProperties, ExplorationScaleOrdersIndices) {
+  DflSso small(DflSsoOptions{.exploration_scale = 0.5});
+  DflSso big(DflSsoOptions{.exploration_scale = 2.0});
+  const Graph g = empty_graph(1);
+  small.reset(g);
+  big.reset(g);
+  small.observe(0, 1, {{0, 0.5}});
+  big.observe(0, 1, {{0, 0.5}});
+  const TimeSlot t = 1000;
+  EXPECT_LT(small.index(0, t), big.index(0, t));
+  // Scale only affects the bonus: both equal the mean in exploitation mode.
+  EXPECT_NEAR(small.index(0, t) - 0.5, 0.5 * (big.index(0, t) - 0.5) / 2.0,
+              1e-9);
+}
+
+TEST(IndexProperties, MossFixedHorizonIndexConstantInT) {
+  Moss policy(MossOptions{.horizon = 5000});
+  policy.reset(empty_graph(2));
+  policy.observe(0, 1, {{0, 0.3}});
+  EXPECT_DOUBLE_EQ(policy.index(0, 1), policy.index(0, 4999));
+}
+
+TEST(IndexProperties, DflSsrIndexUsesObCount) {
+  // Two arms on a path; the index widens when the side-reward counter is
+  // the binding constraint, not the direct count.
+  const Graph g = path_graph(2);
+  DflSsr policy;
+  policy.reset(g);
+  policy.observe(0, 1, {{0, 0.5}, {1, 0.5}});
+  policy.observe(0, 2, {{0, 0.5}, {1, 0.5}});
+  // Ob_0 = min(O_0, O_1) = 2.
+  EXPECT_EQ(policy.side_observation_count(0), 2);
+  const double idx = policy.index(0, 8);
+  // B̄_0 = 1.0; ratio = 8/(2*2) = 2 → width = sqrt(ln 2 / 2).
+  EXPECT_NEAR(idx, 1.0 + std::sqrt(std::log(2.0) / 2.0), 1e-12);
+}
+
+TEST(IndexProperties, DflCsrScoreMatchesTwoThirdsSchedule) {
+  // The CSR exploration term uses t^{2/3}: doubling t multiplies the ratio
+  // by 2^{2/3}, strictly less than the SSO index growth.
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(empty_graph(4)), 2));
+  DflCsr policy(family);
+  std::vector<Observation> obs{{0, 0.5}, {1, 0.5}};
+  policy.observe(0, 1, obs);
+  const double s1 = policy.arm_score(0, 1000);
+  const double s2 = policy.arm_score(0, 8000);  // t x8 → t^{2/3} x4
+  const double r1 = std::exp(std::pow(s1 - 0.5, 2.0));  // e^{width²} ∝ ratio
+  const double r2 = std::exp(std::pow(s2 - 0.5, 2.0));
+  EXPECT_NEAR(r2 / r1, 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ncb

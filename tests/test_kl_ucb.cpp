@@ -1,0 +1,114 @@
+#include "core/kl_ucb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(BernoulliKl, KnownValues) {
+  EXPECT_NEAR(KlUcb::bernoulli_kl(0.5, 0.5), 0.0, 1e-12);
+  // kl(0.5, 0.75) = 0.5 ln(2/3·2) ... compute directly:
+  const double expected =
+      0.5 * std::log(0.5 / 0.75) + 0.5 * std::log(0.5 / 0.25);
+  EXPECT_NEAR(KlUcb::bernoulli_kl(0.5, 0.75), expected, 1e-12);
+}
+
+TEST(BernoulliKl, NonNegativeAndZeroOnlyAtEquality) {
+  for (double p = 0.1; p < 1.0; p += 0.2) {
+    for (double q = 0.1; q < 1.0; q += 0.2) {
+      const double kl = KlUcb::bernoulli_kl(p, q);
+      EXPECT_GE(kl, 0.0);
+      if (std::fabs(p - q) > 1e-9) EXPECT_GT(kl, 0.0);
+    }
+  }
+}
+
+TEST(BernoulliKl, HandlesBoundaryP) {
+  EXPECT_GE(KlUcb::bernoulli_kl(0.0, 0.5), 0.0);
+  EXPECT_GE(KlUcb::bernoulli_kl(1.0, 0.5), 0.0);
+  EXPECT_TRUE(std::isfinite(KlUcb::bernoulli_kl(0.0, 1.0)));
+}
+
+TEST(KlUpperBound, AtLeastMeanAtMostOne) {
+  for (double p = 0.0; p <= 1.0; p += 0.25) {
+    const double q = KlUcb::kl_upper_bound(p, 10.0, std::log(100.0));
+    EXPECT_GE(q, p - 1e-9);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST(KlUpperBound, ShrinksWithCount) {
+  const double budget = std::log(1000.0);
+  const double loose = KlUcb::kl_upper_bound(0.4, 5.0, budget);
+  const double tight = KlUcb::kl_upper_bound(0.4, 500.0, budget);
+  EXPECT_GT(loose, tight);
+  EXPECT_NEAR(tight, 0.4, 0.1);
+}
+
+TEST(KlUpperBound, SatisfiesKlConstraint) {
+  const double p = 0.3, count = 20.0, budget = std::log(500.0);
+  const double q = KlUcb::kl_upper_bound(p, count, budget);
+  EXPECT_LE(count * KlUcb::bernoulli_kl(p, q), budget + 1e-6);
+  // And q + epsilon violates it (q is the max).
+  if (q < 0.999) {
+    EXPECT_GT(count * KlUcb::bernoulli_kl(p, q + 1e-3), budget - 1e-6);
+  }
+}
+
+TEST(KlUcb, InfiniteIndexWhenUnobserved) {
+  KlUcb policy;
+  policy.reset(empty_graph(3));
+  EXPECT_TRUE(std::isinf(policy.index(0, 10)));
+}
+
+TEST(KlUcb, IgnoresSideObservationsByDefault) {
+  const Graph g = star_graph(3);
+  KlUcb policy;
+  policy.reset(g);
+  policy.observe(0, 1, {{0, 0.5}, {1, 0.9}, {2, 0.1}});
+  EXPECT_EQ(policy.observation_count(0), 1);
+  EXPECT_EQ(policy.observation_count(1), 0);
+  EXPECT_EQ(policy.name(), "KL-UCB");
+}
+
+TEST(KlUcbN, ConsumesSideObservations) {
+  const Graph g = star_graph(3);
+  KlUcbOptions opts;
+  opts.use_side_observations = true;
+  KlUcb policy(opts);
+  policy.reset(g);
+  policy.observe(0, 1, {{0, 0.5}, {1, 0.9}, {2, 0.1}});
+  EXPECT_EQ(policy.observation_count(1), 1);
+  EXPECT_EQ(policy.observation_count(2), 1);
+  EXPECT_EQ(policy.name(), "KL-UCB-N");
+}
+
+TEST(KlUcb, ConvergesToBestArm) {
+  KlUcb policy;
+  const Graph g = empty_graph(4);
+  policy.reset(g);
+  const std::vector<double> means{0.2, 0.7, 0.4, 0.3};
+  Xoshiro256 rng(3);
+  std::vector<std::int64_t> plays(4, 0);
+  for (TimeSlot t = 1; t <= 3000; ++t) {
+    const ArmId a = policy.select(t);
+    ++plays[static_cast<std::size_t>(a)];
+    const double r =
+        rng.bernoulli(means[static_cast<std::size_t>(a)]) ? 1.0 : 0.0;
+    policy.observe(a, t, {{a, r}});
+  }
+  EXPECT_GT(plays[1], 2500);
+}
+
+TEST(KlUcb, MissingPlayedArmThrows) {
+  KlUcb policy;
+  policy.reset(empty_graph(2));
+  EXPECT_THROW(policy.observe(0, 1, {{1, 0.5}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,54 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncb {
+namespace {
+
+TEST(LogPlus, ZeroBelowOne) {
+  EXPECT_DOUBLE_EQ(log_plus(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(log_plus(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(log_plus(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(log_plus(-3.0), 0.0);
+}
+
+TEST(LogPlus, MatchesLogAboveOne) {
+  EXPECT_NEAR(log_plus(std::exp(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(log_plus(100.0), std::log(100.0), 1e-12);
+}
+
+TEST(ExplorationWidth, InfiniteWhenUnobserved) {
+  EXPECT_TRUE(std::isinf(exploration_width(10.0, 0.0)));
+}
+
+TEST(ExplorationWidth, ZeroWhenRatioSmall) {
+  // log+(ratio) = 0 → width 0: pure exploitation regime.
+  EXPECT_DOUBLE_EQ(exploration_width(0.5, 10.0), 0.0);
+}
+
+TEST(ExplorationWidth, HandComputedValue) {
+  // sqrt(ln(e^2)/4) = sqrt(2)/2.
+  EXPECT_NEAR(exploration_width(std::exp(2.0), 4.0), std::sqrt(2.0) / 2.0,
+              1e-12);
+}
+
+TEST(ExplorationWidth, DecreasesWithCount) {
+  const double w1 = exploration_width(100.0, 5.0);
+  const double w2 = exploration_width(100.0, 50.0);
+  EXPECT_GT(w1, w2);
+}
+
+TEST(Clamp01, Clamps) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(clamp01(1.5), 1.0);
+}
+
+TEST(AlmostEqual, Tolerance) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1.0, 1.0005, 1e-3));
+}
+
+}  // namespace
+}  // namespace ncb

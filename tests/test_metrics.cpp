@@ -1,0 +1,64 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(ConnectedComponents, SingleComponent) {
+  const auto comps = connected_components(path_graph(5));
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0], (ArmSet{0, 1, 2, 3, 4}));
+}
+
+TEST(ConnectedComponents, AllIsolated) {
+  const auto comps = connected_components(empty_graph(4));
+  EXPECT_EQ(comps.size(), 4u);
+}
+
+TEST(ConnectedComponents, DisjointCliques) {
+  const auto comps = connected_components(disjoint_cliques(3, 3));
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (ArmSet{0, 1, 2}));
+  EXPECT_EQ(comps[1], (ArmSet{3, 4, 5}));
+  EXPECT_EQ(comps[2], (ArmSet{6, 7, 8}));
+}
+
+TEST(ComputeMetrics, CompleteGraph) {
+  const auto m = compute_metrics(complete_graph(6));
+  EXPECT_EQ(m.num_vertices, 6u);
+  EXPECT_EQ(m.num_edges, 15u);
+  EXPECT_DOUBLE_EQ(m.density, 1.0);
+  EXPECT_DOUBLE_EQ(m.avg_degree, 5.0);
+  EXPECT_EQ(m.min_degree, 5u);
+  EXPECT_EQ(m.max_degree, 5u);
+  EXPECT_EQ(m.num_components, 1u);
+  EXPECT_EQ(m.greedy_clique_cover_size, 1u);
+}
+
+TEST(ComputeMetrics, EmptyGraph) {
+  const auto m = compute_metrics(empty_graph(5));
+  EXPECT_DOUBLE_EQ(m.density, 0.0);
+  EXPECT_EQ(m.num_components, 5u);
+  EXPECT_EQ(m.greedy_clique_cover_size, 5u);
+}
+
+TEST(ComputeMetrics, StarGraph) {
+  const auto m = compute_metrics(star_graph(9));
+  EXPECT_EQ(m.max_degree, 8u);
+  EXPECT_EQ(m.min_degree, 1u);
+  EXPECT_NEAR(m.avg_degree, 16.0 / 9.0, 1e-12);
+  EXPECT_EQ(m.num_components, 1u);
+}
+
+TEST(ComputeMetrics, ToStringMentionsFields) {
+  const auto text = compute_metrics(path_graph(3)).to_string();
+  EXPECT_NE(text.find("V=3"), std::string::npos);
+  EXPECT_NE(text.find("E=2"), std::string::npos);
+  EXPECT_NE(text.find("components=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncb

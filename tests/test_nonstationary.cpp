@@ -1,0 +1,163 @@
+#include "core/nonstationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dfl_sso.hpp"
+#include "graph/generators.hpp"
+#include "sim/piecewise.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(SwDflSso, WindowEvictsOldSamples) {
+  SwDflSso policy(SwDflSsoOptions{.window = 3});
+  policy.reset(empty_graph(2));
+  policy.observe(0, 1, {{0, 1.0}});
+  policy.observe(0, 2, {{0, 1.0}});
+  policy.observe(0, 3, {{0, 0.0}});
+  EXPECT_EQ(policy.window_count(0), 3);
+  EXPECT_NEAR(policy.window_mean(0), 2.0 / 3.0, 1e-12);
+  // Slot 4: the slot-1 sample (slot <= 4-3) leaves the window.
+  policy.observe(0, 4, {{0, 0.0}});
+  EXPECT_EQ(policy.window_count(0), 3);
+  EXPECT_NEAR(policy.window_mean(0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SwDflSso, ForgetsCompletely) {
+  SwDflSso policy(SwDflSsoOptions{.window = 2});
+  policy.reset(empty_graph(2));
+  policy.observe(0, 1, {{0, 1.0}});
+  // No observations of arm 0 afterwards; by slot 10 it is unknown again.
+  policy.observe(1, 10, {{1, 0.5}});
+  EXPECT_EQ(policy.window_count(0), 0);
+  EXPECT_TRUE(std::isinf(policy.index(0, 10)));
+}
+
+TEST(SwDflSso, ValidatesWindow) {
+  EXPECT_THROW(SwDflSso(SwDflSsoOptions{.window = 0}), std::invalid_argument);
+}
+
+TEST(SwDflSso, NameMentionsWindow) {
+  SwDflSso policy(SwDflSsoOptions{.window = 500});
+  EXPECT_EQ(policy.name(), "SW-DFL-SSO(w=500)");
+}
+
+TEST(DiscountedDflSso, CountsDecayGeometrically) {
+  DiscountedDflSso policy(DiscountedDflSsoOptions{.discount = 0.5});
+  policy.reset(empty_graph(2));
+  policy.observe(0, 1, {{0, 1.0}});
+  EXPECT_NEAR(policy.discounted_count(0), 1.0, 1e-12);
+  policy.observe(1, 2, {{1, 0.5}});  // arm 0 decays, no new sample
+  EXPECT_NEAR(policy.discounted_count(0), 0.5, 1e-12);
+  policy.observe(1, 3, {{1, 0.5}});
+  EXPECT_NEAR(policy.discounted_count(0), 0.25, 1e-12);
+}
+
+TEST(DiscountedDflSso, MeanTracksRecentValues) {
+  DiscountedDflSso policy(DiscountedDflSsoOptions{.discount = 0.5});
+  policy.reset(empty_graph(1));
+  // Long run of 0s then a 1: discounted mean leans heavily to the 1.
+  for (TimeSlot t = 1; t <= 10; ++t) policy.observe(0, t, {{0, 0.0}});
+  policy.observe(0, 11, {{0, 1.0}});
+  EXPECT_GT(policy.discounted_mean(0), 0.49);
+}
+
+TEST(DiscountedDflSso, GammaOneIsPlainAverage) {
+  DiscountedDflSso policy(DiscountedDflSsoOptions{.discount = 1.0});
+  policy.reset(empty_graph(1));
+  policy.observe(0, 1, {{0, 1.0}});
+  policy.observe(0, 2, {{0, 0.0}});
+  EXPECT_NEAR(policy.discounted_mean(0), 0.5, 1e-12);
+  EXPECT_THROW(DiscountedDflSso(DiscountedDflSsoOptions{.discount = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscountedDflSso(DiscountedDflSsoOptions{.discount = 1.5}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseInstance, PhaseLookup) {
+  std::vector<BanditInstance> phases;
+  phases.push_back(bernoulli_instance(path_graph(3), {0.9, 0.1, 0.1}));
+  phases.push_back(bernoulli_instance(path_graph(3), {0.1, 0.1, 0.9}));
+  const PiecewiseInstance pw(std::move(phases), {100});
+  EXPECT_EQ(pw.num_phases(), 2u);
+  EXPECT_EQ(pw.phase_index(1), 0u);
+  EXPECT_EQ(pw.phase_index(100), 0u);
+  EXPECT_EQ(pw.phase_index(101), 1u);
+  EXPECT_EQ(pw.phase_at(50).best_arm(), 0);
+  EXPECT_EQ(pw.phase_at(150).best_arm(), 2);
+}
+
+TEST(PiecewiseInstance, Validation) {
+  std::vector<BanditInstance> one;
+  one.push_back(bernoulli_instance(path_graph(2), {0.5, 0.5}));
+  EXPECT_NO_THROW(PiecewiseInstance(std::move(one), {}));
+
+  std::vector<BanditInstance> two;
+  two.push_back(bernoulli_instance(path_graph(2), {0.5, 0.5}));
+  two.push_back(bernoulli_instance(path_graph(2), {0.5, 0.5}));
+  EXPECT_THROW(PiecewiseInstance(std::move(two), {}), std::invalid_argument);
+
+  std::vector<BanditInstance> mismatched;
+  mismatched.push_back(bernoulli_instance(path_graph(2), {0.5, 0.5}));
+  mismatched.push_back(bernoulli_instance(path_graph(3), {0.5, 0.5, 0.5}));
+  EXPECT_THROW(PiecewiseInstance(std::move(mismatched), {10}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseRun, AccountingConsistent) {
+  std::vector<BanditInstance> phases;
+  phases.push_back(bernoulli_instance(path_graph(4), {0.9, 0.2, 0.2, 0.2}));
+  phases.push_back(bernoulli_instance(path_graph(4), {0.2, 0.2, 0.2, 0.9}));
+  const PiecewiseInstance pw(std::move(phases), {200});
+  SwDflSso policy(SwDflSsoOptions{.window = 100});
+  const auto result =
+      run_single_play_piecewise(policy, pw, Scenario::kSso, 400, 7);
+  ASSERT_EQ(result.per_slot_regret.size(), 400u);
+  double running = 0.0;
+  for (std::size_t t = 0; t < 400; ++t) {
+    running += result.per_slot_regret[t];
+    ASSERT_NEAR(result.cumulative_regret[t], running, 1e-9);
+    ASSERT_GE(result.per_slot_pseudo_regret[t], -1e-12);
+  }
+  EXPECT_NEAR(result.optimal_per_slot, 0.9, 1e-9);
+}
+
+TEST(PiecewiseRun, SlidingWindowAdaptsAfterBreakpoint) {
+  // Phase 1 favors arm 0; phase 2 favors arm 4 (disconnected arms so no
+  // side help). The windowed policy must recover in phase 2 where the
+  // stationary policy keeps exploiting the stale optimum far longer.
+  std::vector<BanditInstance> phases;
+  phases.push_back(
+      bernoulli_instance(empty_graph(5), {0.9, 0.3, 0.3, 0.3, 0.1}));
+  phases.push_back(
+      bernoulli_instance(empty_graph(5), {0.1, 0.3, 0.3, 0.3, 0.9}));
+  const PiecewiseInstance pw(std::move(phases), {1500});
+
+  SwDflSso sw(SwDflSsoOptions{.window = 300, .seed = 11});
+  DflSso plain(DflSsoOptions{.seed = 11});
+  const auto sw_result =
+      run_single_play_piecewise(sw, pw, Scenario::kSso, 3000, 5);
+  const auto plain_result =
+      run_single_play_piecewise(plain, pw, Scenario::kSso, 3000, 5);
+  // Compare regret accumulated after the breakpoint.
+  const double sw_tail =
+      sw_result.cumulative_regret.back() - sw_result.cumulative_regret[1499];
+  const double plain_tail = plain_result.cumulative_regret.back() -
+                            plain_result.cumulative_regret[1499];
+  EXPECT_LT(sw_tail, plain_tail);
+}
+
+TEST(PiecewiseRun, RejectsCombinatorialScenario) {
+  std::vector<BanditInstance> phases;
+  phases.push_back(bernoulli_instance(path_graph(2), {0.5, 0.5}));
+  const PiecewiseInstance pw(std::move(phases), {});
+  DflSso policy;
+  EXPECT_THROW(
+      (void)run_single_play_piecewise(policy, pw, Scenario::kCso, 10, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncb

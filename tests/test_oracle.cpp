@@ -1,0 +1,143 @@
+#include "strategy/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+std::shared_ptr<const Graph> shared_graph(Graph g) {
+  return std::make_shared<const Graph>(std::move(g));
+}
+
+TEST(CoverageValue, HandComputed) {
+  const auto family = make_subset_family(shared_graph(path_graph(4)), 2);
+  const std::vector<double> scores{1.0, 2.0, 4.0, 8.0};
+  // Strategy {0}: Y = {0,1} → 3. Strategy {0,3}: Y = {0,1,2,3} → 15.
+  const auto id0 = family.find({0});
+  const auto id03 = family.find({0, 3});
+  ASSERT_TRUE(id0 && id03);
+  EXPECT_DOUBLE_EQ(coverage_value(family, *id0, scores), 3.0);
+  EXPECT_DOUBLE_EQ(coverage_value(family, *id03, scores), 15.0);
+}
+
+TEST(ModularValue, HandComputed) {
+  const auto family = make_subset_family(shared_graph(path_graph(4)), 2);
+  const std::vector<double> scores{1.0, 2.0, 4.0, 8.0};
+  const auto id13 = family.find({1, 3});
+  ASSERT_TRUE(id13);
+  EXPECT_DOUBLE_EQ(modular_value(family, *id13, scores), 10.0);
+}
+
+TEST(ExactCoverageOracle, PicksArgmax) {
+  const auto family = make_subset_family(shared_graph(path_graph(4)), 2);
+  const ExactCoverageOracle oracle;
+  const std::vector<double> scores{1.0, 2.0, 4.0, 8.0};
+  const StrategyId best = oracle.select(family, scores);
+  // Full coverage {0,1,2,3} is reachable (e.g. {0,2}, {0,3}, {1,3}), value 15.
+  EXPECT_DOUBLE_EQ(coverage_value(family, best, scores), 15.0);
+}
+
+TEST(ExactCoverageOracle, SizeMismatchThrows) {
+  const auto family = make_subset_family(shared_graph(path_graph(4)), 2);
+  const ExactCoverageOracle oracle;
+  EXPECT_THROW(oracle.select(family, {1.0}), std::invalid_argument);
+}
+
+TEST(ExactCoverageOracle, MatchesBruteForceOnRandomInstances) {
+  Xoshiro256 rng(31);
+  const ExactCoverageOracle oracle;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto family =
+        make_subset_family(shared_graph(erdos_renyi(8, 0.4, rng)), 2);
+    std::vector<double> scores(8);
+    for (auto& s : scores) s = rng.uniform();
+    const StrategyId chosen = oracle.select(family, scores);
+    double best = -1.0;
+    for (StrategyId x = 0; x < static_cast<StrategyId>(family.size()); ++x) {
+      best = std::max(best, coverage_value(family, x, scores));
+    }
+    EXPECT_NEAR(coverage_value(family, chosen, scores), best, 1e-12);
+  }
+}
+
+TEST(ArgmaxModular, MatchesBruteForce) {
+  Xoshiro256 rng(37);
+  const auto family =
+      make_subset_family(shared_graph(erdos_renyi(9, 0.3, rng)), 3);
+  std::vector<double> scores(9);
+  for (auto& s : scores) s = rng.uniform();
+  const StrategyId chosen = argmax_modular(family, scores);
+  double best = -1.0;
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family.size()); ++x) {
+    best = std::max(best, modular_value(family, x, scores));
+  }
+  EXPECT_NEAR(modular_value(family, chosen, scores), best, 1e-12);
+}
+
+TEST(GreedyCoverageOracle, ExactOnModularCase) {
+  // Empty graph: coverage is modular, greedy is optimal.
+  const auto family = make_subset_family(shared_graph(empty_graph(6)), 2);
+  const GreedyCoverageOracle greedy;
+  const ExactCoverageOracle exact;
+  const std::vector<double> scores{0.1, 0.9, 0.3, 0.8, 0.2, 0.5};
+  const StrategyId g = greedy.select(family, scores);
+  const StrategyId e = exact.select(family, scores);
+  EXPECT_DOUBLE_EQ(coverage_value(family, g, scores),
+                   coverage_value(family, e, scores));
+}
+
+TEST(GreedyCoverageOracle, RequiresSubsetFamily) {
+  const auto family = make_independent_set_family(shared_graph(path_graph(4)));
+  const GreedyCoverageOracle greedy;
+  EXPECT_THROW(greedy.select(family, {1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(GreedyCoverageOracle, ApproximationGuaranteeHolds) {
+  Xoshiro256 rng(41);
+  const GreedyCoverageOracle greedy;
+  const ExactCoverageOracle exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto family =
+        make_subset_family(shared_graph(erdos_renyi(10, 0.3, rng)), 3);
+    std::vector<double> scores(10);
+    for (auto& s : scores) s = rng.uniform();
+    const double g = coverage_value(family, greedy.select(family, scores), scores);
+    const double e = coverage_value(family, exact.select(family, scores), scores);
+    EXPECT_GE(g, (1.0 - 1.0 / std::exp(1.0)) * e - 1e-9);
+    EXPECT_LE(g, e + 1e-12);
+  }
+}
+
+TEST(GreedyCoverageOracle, ExactSizeFamilyFillsUp) {
+  const auto family =
+      make_subset_family(shared_graph(empty_graph(5)), 3, /*exact=*/true);
+  const GreedyCoverageOracle greedy;
+  const StrategyId x = greedy.select(family, {0.5, 0.4, 0.3, 0.2, 0.1});
+  EXPECT_EQ(family.strategy(x).size(), 3u);
+  EXPECT_EQ(family.strategy(x), (ArmSet{0, 1, 2}));
+}
+
+TEST(GreedyCoverageOracle, NegativeScoresClamped) {
+  const auto family = make_subset_family(shared_graph(empty_graph(4)), 2);
+  const GreedyCoverageOracle greedy;
+  // All-negative scores: greedy still returns a valid strategy.
+  const StrategyId x = greedy.select(family, {-1.0, -2.0, -3.0, -4.0});
+  EXPECT_LT(x, static_cast<StrategyId>(family.size()));
+  EXPECT_GE(x, 0);
+}
+
+TEST(Oracles, TieBreaksDeterministically) {
+  const auto family = make_subset_family(shared_graph(empty_graph(3)), 1);
+  const ExactCoverageOracle oracle;
+  // All equal scores: smallest strategy id wins.
+  EXPECT_EQ(oracle.select(family, {0.5, 0.5, 0.5}), 0);
+  EXPECT_EQ(argmax_modular(family, {0.5, 0.5, 0.5}), 0);
+}
+
+}  // namespace
+}  // namespace ncb

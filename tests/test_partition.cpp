@@ -1,0 +1,93 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(DefaultDelta0, PaperFormula) {
+  // δ0 = α·sqrt(K/n) with α = e.
+  const double expected = std::exp(1.0) * std::sqrt(100.0 / 10000.0);
+  EXPECT_NEAR(default_delta0(100, 10000), expected, 1e-12);
+}
+
+TEST(DefaultDelta0, CustomAlpha) {
+  EXPECT_NEAR(default_delta0(4, 400, 2.0), 2.0 * 0.1, 1e-12);
+}
+
+TEST(DefaultDelta0, RejectsBadArguments) {
+  EXPECT_THROW((void)default_delta0(0, 100), std::invalid_argument);
+  EXPECT_THROW((void)default_delta0(10, 0), std::invalid_argument);
+}
+
+TEST(GapsFromMeans, BestArmHasZeroGap) {
+  const auto gaps = gaps_from_means({0.2, 0.9, 0.5});
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_NEAR(gaps[0], 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(gaps[1], 0.0);
+  EXPECT_NEAR(gaps[2], 0.4, 1e-12);
+}
+
+TEST(GapsFromMeans, EmptyInput) {
+  EXPECT_TRUE(gaps_from_means({}).empty());
+}
+
+TEST(ThresholdPartition, SplitsByDelta0) {
+  const Graph g = path_graph(5);
+  const std::vector<double> gaps{0.0, 0.05, 0.3, 0.5, 0.7};
+  const auto part = threshold_partition(g, gaps, 0.1);
+  EXPECT_EQ(part.k1, (ArmSet{0, 1}));
+  EXPECT_EQ(part.k2, (ArmSet{2, 3, 4}));
+  EXPECT_EQ(part.subgraph_h.num_vertices(), 3u);
+  // Vertices 2-3-4 form a sub-path: edges (2,3),(3,4) survive.
+  EXPECT_EQ(part.subgraph_h.num_edges(), 2u);
+  EXPECT_EQ(part.h_to_original, (ArmSet{2, 3, 4}));
+}
+
+TEST(ThresholdPartition, CoverIsValidOnH) {
+  Xoshiro256 rng(9);
+  const Graph g = erdos_renyi(30, 0.4, rng);
+  std::vector<double> gaps(30);
+  for (auto& d : gaps) d = rng.uniform();
+  const auto part = threshold_partition(g, gaps, 0.5);
+  EXPECT_TRUE(is_valid_clique_cover(part.subgraph_h, part.cover));
+  EXPECT_EQ(part.k1.size() + part.k2.size(), 30u);
+  EXPECT_EQ(part.clique_cover_size(), part.cover.size());
+}
+
+TEST(ThresholdPartition, AllArmsBelowThreshold) {
+  const Graph g = complete_graph(4);
+  const auto part = threshold_partition(g, {0.0, 0.0, 0.0, 0.0}, 0.5);
+  EXPECT_EQ(part.k1.size(), 4u);
+  EXPECT_TRUE(part.k2.empty());
+  EXPECT_EQ(part.subgraph_h.num_vertices(), 0u);
+  EXPECT_TRUE(part.cover.empty());
+}
+
+TEST(ThresholdPartition, AllArmsAboveThreshold) {
+  const Graph g = complete_graph(4);
+  const auto part = threshold_partition(g, {0.9, 0.8, 0.7, 0.6}, 0.1);
+  EXPECT_TRUE(part.k1.empty());
+  EXPECT_EQ(part.k2.size(), 4u);
+  EXPECT_EQ(part.cover.size(), 1u);  // complete subgraph = one clique
+}
+
+TEST(ThresholdPartition, MismatchedSizesThrow) {
+  const Graph g = path_graph(3);
+  EXPECT_THROW(threshold_partition(g, {0.1, 0.2}, 0.5), std::invalid_argument);
+}
+
+TEST(ThresholdPartition, BoundaryGapGoesToK1) {
+  // Gap exactly equal to δ0 belongs to K1 (∆ ≤ δ0).
+  const Graph g = path_graph(2);
+  const auto part = threshold_partition(g, {0.5, 0.6}, 0.5);
+  EXPECT_EQ(part.k1, (ArmSet{0}));
+  EXPECT_EQ(part.k2, (ArmSet{1}));
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,193 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/dfl_cso.hpp"
+#include "core/dfl_csr.hpp"
+#include "core/dfl_sso.hpp"
+#include "core/dfl_ssr.hpp"
+#include "core/random_policy.hpp"
+#include "graph/generators.hpp"
+
+namespace ncb {
+namespace {
+
+/// Deterministic instance: constant rewards equal to the mean, so realized
+/// regret is exactly computable.
+BanditInstance constant_instance(Graph g, const std::vector<double>& values) {
+  std::vector<DistributionPtr> arms;
+  for (const double v : values) arms.push_back(std::make_unique<ConstantDist>(v));
+  return BanditInstance(std::move(g), std::move(arms));
+}
+
+TEST(OptimalValue, AllScenariosOnPathInstance) {
+  const auto inst =
+      constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  EXPECT_DOUBLE_EQ(optimal_value(inst, Scenario::kSso), 0.8);
+  EXPECT_NEAR(optimal_value(inst, Scenario::kSsr), 1.7, 1e-12);  // arm 2
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  // CSO: best pair {1,3} → 1.4.
+  EXPECT_NEAR(optimal_value(inst, Scenario::kCso, family.get()), 1.4, 1e-12);
+  // CSR: full coverage 1.8 (e.g. {0,2}).
+  EXPECT_NEAR(optimal_value(inst, Scenario::kCsr, family.get()), 1.8, 1e-12);
+}
+
+TEST(OptimalValue, FamilyRequiredForCombinatorial) {
+  const auto inst = constant_instance(path_graph(3), {0.5, 0.5, 0.5});
+  EXPECT_THROW((void)optimal_value(inst, Scenario::kCso), std::invalid_argument);
+}
+
+TEST(OptimalStrategy, FindsArgmax) {
+  const auto inst = constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  const StrategyId cso = optimal_strategy(inst, Scenario::kCso, *family);
+  EXPECT_EQ(family->strategy(cso), (ArmSet{1, 3}));
+  EXPECT_THROW((void)optimal_strategy(inst, Scenario::kSso, *family),
+               std::invalid_argument);
+}
+
+TEST(RunSinglePlay, DeterministicRegretWithConstantArms) {
+  // Two disconnected arms, 0.9 vs 0.4: every slot playing arm 1 costs 0.5.
+  const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
+  Environment env(inst, 1);
+  RandomPolicy policy(3);
+  RunnerOptions opts;
+  opts.horizon = 100;
+  const auto result = run_single_play(policy, env, Scenario::kSso, opts);
+  ASSERT_EQ(result.per_slot_regret.size(), 100u);
+  for (std::size_t t = 0; t < 100; ++t) {
+    const double r = result.per_slot_regret[t];
+    EXPECT_TRUE(r == 0.0 || std::abs(r - 0.5) < 1e-12);
+  }
+  // Cumulative = prefix sums.
+  double running = 0.0;
+  for (std::size_t t = 0; t < 100; ++t) {
+    running += result.per_slot_regret[t];
+    EXPECT_NEAR(result.cumulative_regret[t], running, 1e-9);
+  }
+  // Play counts sum to horizon.
+  EXPECT_EQ(std::accumulate(result.play_counts.begin(),
+                            result.play_counts.end(), std::int64_t{0}),
+            100);
+}
+
+TEST(RunSinglePlay, SsrRegretUsesSideRewards) {
+  // Path 0-1-2 with constants: u = [a+b, a+b+c, b+c].
+  const auto inst = constant_instance(path_graph(3), {0.5, 0.2, 0.4});
+  Environment env(inst, 1);
+  DflSsr policy;
+  RunnerOptions opts;
+  opts.horizon = 50;
+  const auto result = run_single_play(policy, env, Scenario::kSsr, opts);
+  EXPECT_NEAR(result.optimal_per_slot, 1.1, 1e-12);  // u_1 = 0.5+0.2+0.4
+  // With constant rewards the policy converges; total reward equals the sum
+  // of realized side rewards, bounded by horizon · u*.
+  EXPECT_LE(result.total_reward, 50 * 1.1 + 1e-9);
+  EXPECT_GE(result.total_reward, 0.0);
+}
+
+TEST(RunSinglePlay, PseudoRegretNonNegative) {
+  Xoshiro256 rng(5);
+  const Graph g = erdos_renyi(8, 0.4, rng);
+  auto inst = random_bernoulli_instance(g, rng);
+  Environment env(inst, 7);
+  DflSso policy;
+  RunnerOptions opts;
+  opts.horizon = 500;
+  const auto result = run_single_play(policy, env, Scenario::kSso, opts);
+  for (const double pr : result.per_slot_pseudo_regret) {
+    EXPECT_GE(pr, -1e-12);
+  }
+}
+
+TEST(RunSinglePlay, RecordSeriesOffStillReportsFinal) {
+  const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
+  Environment env(inst, 1);
+  RandomPolicy policy(3);
+  RunnerOptions opts;
+  opts.horizon = 100;
+  opts.record_series = false;
+  const auto result = run_single_play(policy, env, Scenario::kSso, opts);
+  EXPECT_TRUE(result.per_slot_regret.empty());
+  ASSERT_EQ(result.cumulative_regret.size(), 1u);
+  EXPECT_GE(result.cumulative_regret[0], 0.0);
+}
+
+TEST(RunSinglePlay, WrongScenarioThrows) {
+  const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
+  Environment env(inst, 1);
+  RandomPolicy policy(1);
+  RunnerOptions opts;
+  EXPECT_THROW((void)run_single_play(policy, env, Scenario::kCso, opts),
+               std::invalid_argument);
+}
+
+TEST(RunCombinatorial, CsoRegretDeterministicWithConstants) {
+  const auto inst = constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  Environment env(inst, 1);
+  DflCso policy(family);
+  RunnerOptions opts;
+  opts.horizon = 300;
+  const auto result = run_combinatorial(policy, *family, env, Scenario::kCso, opts);
+  EXPECT_NEAR(result.optimal_per_slot, 1.4, 1e-12);
+  // With constant arms, the index policy must lock onto the optimum; the
+  // last slots have zero regret.
+  EXPECT_NEAR(result.per_slot_regret.back(), 0.0, 1e-9);
+}
+
+TEST(RunCombinatorial, CsrUsesCoverageReward) {
+  const auto inst = constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  Environment env(inst, 1);
+  DflCsr policy(family);
+  RunnerOptions opts;
+  opts.horizon = 300;
+  const auto result = run_combinatorial(policy, *family, env, Scenario::kCsr, opts);
+  EXPECT_NEAR(result.optimal_per_slot, 1.8, 1e-12);
+  EXPECT_NEAR(result.per_slot_regret.back(), 0.0, 1e-9);
+}
+
+TEST(RunCombinatorial, PlayCountsCountComponentArms) {
+  const auto inst = constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2, /*exact=*/true));
+  Environment env(inst, 1);
+  DflCso policy(family);
+  RunnerOptions opts;
+  opts.horizon = 50;
+  const auto result = run_combinatorial(policy, *family, env, Scenario::kCso, opts);
+  // Exactly M = 2 arms played per slot.
+  EXPECT_EQ(std::accumulate(result.play_counts.begin(),
+                            result.play_counts.end(), std::int64_t{0}),
+            100);
+}
+
+TEST(RunCombinatorial, MismatchedFamilyThrows) {
+  const auto inst = constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(path_graph(3)), 2));
+  Environment env(inst, 1);
+  DflCso policy(family);
+  RunnerOptions opts;
+  EXPECT_THROW(
+      (void)run_combinatorial(policy, *family, env, Scenario::kCso, opts),
+      std::invalid_argument);
+}
+
+TEST(RunResult, FinalAverageRegret) {
+  RunResult r;
+  r.cumulative_regret = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(r.final_average_regret(), 1.0, 1e-12);
+  RunResult empty;
+  EXPECT_DOUBLE_EQ(empty.final_average_regret(), 0.0);
+}
+
+}  // namespace
+}  // namespace ncb

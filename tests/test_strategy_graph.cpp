@@ -1,0 +1,126 @@
+#include "strategy/strategy_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+std::shared_ptr<const Graph> shared_graph(Graph g) {
+  return std::make_shared<const Graph>(std::move(g));
+}
+
+TEST(StrategyGraph, PaperFig2Construction) {
+  // Arms: path 0-1-2-3. Feasible set: the 7 independent sets in order
+  // s0={0} s1={1} s2={2} s3={3} s4={0,2} s5={0,3} s6={1,3}.
+  // Applying §IV's mutual-containment rule (s_y ⊆ Y_x AND s_x ⊆ Y_y)
+  // pair by pair yields exactly these 8 links:
+  const FeasibleSet family =
+      make_independent_set_family(shared_graph(path_graph(4)));
+  const Graph sg = build_strategy_graph(family);
+  ASSERT_EQ(sg.num_vertices(), 7u);
+  const std::vector<Edge> expected{{0, 1}, {1, 2}, {1, 4}, {2, 3},
+                                   {2, 6}, {4, 5}, {4, 6}, {5, 6}};
+  EXPECT_EQ(sg.edges(), expected);
+}
+
+TEST(StrategyGraph, PaperExampleS2S5Connected) {
+  // The paper's worked example: s2={2} (our id 1, 0-indexed {1}) and
+  // s5={1,3} (our id 4, 0-indexed {0,2}) are connected.
+  const FeasibleSet family =
+      make_independent_set_family(shared_graph(path_graph(4)));
+  const Graph sg = build_strategy_graph(family);
+  EXPECT_TRUE(sg.has_edge(1, 4));
+}
+
+TEST(StrategyGraph, EmptyRelationGraphLinksNothing) {
+  // Without edges, Y_x = s_x, so distinct strategies can only be linked if
+  // each is a subset of the other — impossible for distinct sets.
+  const FeasibleSet family = make_subset_family(shared_graph(empty_graph(5)), 2);
+  const Graph sg = build_strategy_graph(family);
+  EXPECT_EQ(sg.num_edges(), 0u);
+}
+
+TEST(StrategyGraph, CompleteRelationGraphLinksEverything) {
+  // Complete graph: Y_x = V for all x, so SG is complete.
+  const FeasibleSet family =
+      make_subset_family(shared_graph(complete_graph(4)), 2);
+  const Graph sg = build_strategy_graph(family);
+  const std::size_t f = family.size();
+  EXPECT_EQ(sg.num_edges(), f * (f - 1) / 2);
+}
+
+TEST(StrategyGraph, SymmetricDefinition) {
+  Xoshiro256 rng(5);
+  const FeasibleSet family =
+      make_subset_family(shared_graph(erdos_renyi(8, 0.4, rng)), 2);
+  const Graph sg = build_strategy_graph(family);
+  // Adjacency must equal the mutual-containment predicate.
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family.size()); ++x) {
+    for (StrategyId y = x + 1; y < static_cast<StrategyId>(family.size()); ++y) {
+      const bool expected =
+          family.strategy_bits(y).is_subset_of(family.neighborhood_bits(x)) &&
+          family.strategy_bits(x).is_subset_of(family.neighborhood_bits(y));
+      EXPECT_EQ(sg.has_edge(x, y), expected) << "pair " << x << "," << y;
+    }
+  }
+}
+
+TEST(ObservableStrategies, AlwaysIncludesSelf) {
+  Xoshiro256 rng(9);
+  const FeasibleSet family =
+      make_subset_family(shared_graph(erdos_renyi(7, 0.3, rng)), 2);
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family.size()); ++x) {
+    const auto obs = observable_strategies(family, x);
+    EXPECT_NE(std::find(obs.begin(), obs.end(), x), obs.end());
+  }
+}
+
+TEST(ObservableStrategies, SupersetOfSgClosedNeighborhood) {
+  Xoshiro256 rng(13);
+  const FeasibleSet family =
+      make_subset_family(shared_graph(erdos_renyi(7, 0.5, rng)), 2);
+  const Graph sg = build_strategy_graph(family);
+  for (StrategyId x = 0; x < static_cast<StrategyId>(family.size()); ++x) {
+    const auto observable = observable_strategies(family, x);
+    for (const ArmId y : sg.closed_neighborhood(x)) {
+      EXPECT_NE(std::find(observable.begin(), observable.end(),
+                          static_cast<StrategyId>(y)),
+                observable.end())
+          << "SG neighbor " << y << " of " << x << " not observable";
+    }
+  }
+}
+
+TEST(ObservableStrategies, OneDirectionalContainmentOnly) {
+  // Star graph with strategies {0} (hub), {1}, {2}: the hub observes
+  // everything, a leaf observes only itself and the hub.
+  const FeasibleSet family =
+      make_explicit_family(shared_graph(star_graph(4)), {{0}, {1}, {2}});
+  const auto from_hub = observable_strategies(family, 0);
+  EXPECT_EQ(from_hub.size(), 3u);
+  const auto from_leaf = observable_strategies(family, 1);
+  EXPECT_EQ(from_leaf, (std::vector<StrategyId>{0, 1}));
+  // SG keeps 0-1 (mutual containment) but must not keep 1-2.
+  const Graph sg = build_strategy_graph(family);
+  EXPECT_TRUE(sg.has_edge(0, 1));
+  EXPECT_FALSE(sg.has_edge(1, 2));
+}
+
+TEST(StrategyGraph, SingletonFamiliesMirrorRelationGraph) {
+  // With singleton strategies on a triangle-free graph, SG links {i},{j}
+  // iff i and j are adjacent in G (mutual containment via closed nbhd).
+  const Graph g = path_graph(5);
+  std::vector<ArmSet> singletons;
+  for (ArmId v = 0; v < 5; ++v) singletons.push_back({v});
+  const FeasibleSet family = make_explicit_family(shared_graph(g), singletons);
+  const Graph sg = build_strategy_graph(family);
+  EXPECT_EQ(sg.edges(), path_graph(5).edges());
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,90 @@
+#include "util/svg_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ncb {
+namespace {
+
+TEST(SvgPlot, EmptyInputProducesValidDocument) {
+  const auto svg = render_svg({});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("(no data)"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlot, SingleSeriesHasPolyline) {
+  const std::vector<PlotSeries> series{{"regret", {0.0, 1.0, 2.0, 3.0}}};
+  SvgOptions opts;
+  opts.title = "test figure";
+  const auto svg = render_svg(series, opts);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("test figure"), std::string::npos);
+  EXPECT_NE(svg.find("regret"), std::string::npos);
+}
+
+TEST(SvgPlot, MultipleSeriesGetDistinctColors) {
+  const std::vector<PlotSeries> series{{"a", {0, 1}}, {"b", {1, 0}}};
+  const auto svg = render_svg(series);
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+}
+
+TEST(SvgPlot, TitleEscaped) {
+  SvgOptions opts;
+  opts.title = "a < b & c";
+  const auto svg = render_svg({{"s", {1.0, 2.0}}}, opts);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b & c"), std::string::npos);
+}
+
+TEST(SvgPlot, NonFiniteValuesSkipped) {
+  const std::vector<PlotSeries> series{
+      {"s", {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0}}};
+  const auto svg = render_svg(series);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+}
+
+TEST(SvgPlot, ConstantSeriesNoDivisionByZero) {
+  const auto svg = render_svg({{"flat", {2.0, 2.0, 2.0}}});
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgPlot, LongSeriesDownsampled) {
+  std::vector<double> values(100000);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+  SvgOptions opts;
+  opts.max_points = 100;
+  const auto svg = render_svg({{"long", values}}, opts);
+  // Rough size check: a downsampled polyline stays small.
+  EXPECT_LT(svg.size(), 20000u);
+}
+
+TEST(SvgPlot, WriteToFileRoundTrip) {
+  const std::string path = "/tmp/ncb_test_plot.svg";
+  ASSERT_TRUE(write_svg(path, {{"s", {1.0, 2.0, 3.0}}}));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgPlot, WriteToBadPathFails) {
+  EXPECT_FALSE(write_svg("/nonexistent-dir/x.svg", {{"s", {1.0}}}));
+}
+
+TEST(SvgPlot, YZeroIncludesOrigin) {
+  SvgOptions opts;
+  opts.y_zero = true;
+  const auto svg = render_svg({{"s", {5.0, 6.0}}}, opts);
+  // The lowest tick label must be 0.
+  EXPECT_NE(svg.find(">0</text>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncb

@@ -1,0 +1,129 @@
+#include "sim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ncb {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPool, ReusableAcrossPhases) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 20 * (phase + 1));
+  }
+}
+
+TEST(ThreadPool, NullTaskRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+    // No wait_idle: destructor must still run all tasks.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelSumCorrect) {
+  ThreadPool pool(4);
+  std::vector<long> partial(16, 0);
+  for (std::size_t w = 0; w < 16; ++w) {
+    pool.submit([&partial, w] {
+      long total = 0;
+      for (long i = 0; i < 100000; ++i) total += static_cast<long>(w);
+      partial[w] = total;
+    });
+  }
+  pool.wait_idle();
+  long total = 0;
+  for (const long p : partial) total += p;
+  EXPECT_EQ(total, 100000L * (0 + 15) * 16 / 2);
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  ThreadPool pool(8);
+  std::atomic<long> counter{0};
+  for (int i = 0; i < 5000; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 5000);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesAtWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) pool.submit([&completed] { ++completed; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The other tasks still ran; the pool stays usable afterwards.
+  EXPECT_EQ(completed.load(), 10);
+  pool.submit([&completed] { ++completed; });
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 11);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionKept) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // Second exception was discarded; next wait is clean.
+  pool.wait_idle();
+}
+
+}  // namespace
+}  // namespace ncb
