@@ -7,7 +7,9 @@
 // --csv-points (series downsampling for the CSV block).
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -33,18 +35,42 @@ struct CommonFlags {
 };
 
 inline CommonFlags parse_common(int argc, char** argv) {
-  const ArgParse args(argc, argv);
-  CommonFlags f;
-  f.quick = args.get_bool("quick", false);
-  f.horizon = args.get_int("horizon", f.quick ? 2000 : 10000);
-  f.reps = static_cast<std::size_t>(args.get_int("reps", f.quick ? 5 : 20));
-  f.arms = static_cast<std::size_t>(args.get_int("arms", 0));  // 0 = default
-  f.p = args.get_double("p", 0.3);
-  f.m = static_cast<std::size_t>(args.get_int("m", 3));
-  f.seed = static_cast<std::uint64_t>(args.get_int("seed", 20170605));
-  f.csv_points = static_cast<std::size_t>(args.get_int("csv-points", 25));
-  f.svg_dir = args.get_string("svg-dir", "");
-  return f;
+  try {
+    const ArgParse args(argc, argv);
+    const auto positive = [&](const char* name, std::int64_t v) {
+      if (v <= 0) {
+        throw std::invalid_argument(std::string("--") + name +
+                                    ": must be positive");
+      }
+      return static_cast<std::size_t>(v);
+    };
+    const auto non_negative = [&](const char* name, std::int64_t v) {
+      if (v < 0) {
+        throw std::invalid_argument(std::string("--") + name +
+                                    ": must be non-negative");
+      }
+      return static_cast<std::size_t>(v);
+    };
+    CommonFlags f;
+    f.quick = args.get_bool("quick", false);
+    f.horizon = args.get_int("horizon", f.quick ? 2000 : 10000);
+    if (f.horizon <= 0) {
+      throw std::invalid_argument("--horizon: must be positive");
+    }
+    f.reps = positive("reps", args.get_int("reps", f.quick ? 5 : 20));
+    f.arms = non_negative("arms", args.get_int("arms", 0));  // 0 = default
+    f.p = args.get_double("p", 0.3);
+    f.m = positive("m", args.get_int("m", 3));
+    f.seed = static_cast<std::uint64_t>(
+        non_negative("seed", args.get_int("seed", 20170605)));
+    f.csv_points = positive("csv-points", args.get_int("csv-points", 25));
+    f.svg_dir = args.get_string("svg-dir", "");
+    return f;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << (argc > 0 ? argv[0] : "bench") << ": error: " << e.what()
+              << '\n';
+    std::exit(2);
+  }
 }
 
 /// Writes the figure to <svg_dir>/<file>.svg when --svg-dir is set.

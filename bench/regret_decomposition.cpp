@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
     // Count arms that consumed at least 1% of the horizon.
     std::size_t heavy = 0;
     for (const auto& row : d.rows) {
-      if (row.plays > run.cumulative_regret.size() / 100) ++heavy;
+      const auto one_percent =
+          static_cast<std::int64_t>(run.cumulative_regret.size() / 100);
+      if (row.plays > one_percent) ++heavy;
     }
     std::cout << "arms with >1% of plays: " << heavy << '\n';
   }

@@ -12,8 +12,14 @@ int main(int argc, char** argv) {
   using namespace ncb;
   using namespace ncb::bench;
   CommonFlags flags = parse_common(argc, argv);
-  if (!flags.quick && flags.horizon > 5000) flags.horizon = 5000;
-  if (flags.reps > 10) flags.reps = 10;
+  if (!flags.quick && flags.horizon > 5000) {
+    std::cout << "(note: --horizon capped at 5000 for this sweep)\n";
+    flags.horizon = 5000;
+  }
+  if (flags.reps > 10) {
+    std::cout << "(note: --reps capped at 10 for this sweep)\n";
+    flags.reps = 10;
+  }
 
   std::cout << "==========================================================\n"
                "Scaling: DFL-SSO vs K (ER p=0.3, n=" << flags.horizon << ")\n"

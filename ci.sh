@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 verify command (ROADMAP.md) plus the sanitizer pass.
+# Usage: ./ci.sh            — Release build, full ctest, then ASan/UBSan ctest.
+#        NCB_CI_JOBS=N ./ci.sh — override parallelism.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${NCB_CI_JOBS:-$(nproc)}"
+
+echo "== tier-1: Release build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== sanitizers: ASan/UBSan build + test suite =="
+cmake -B build-asan -S . -DNCB_SANITIZE=ON -DNCB_BUILD_BENCH=OFF -DNCB_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== CI green =="

@@ -11,6 +11,7 @@
 // ba,ws}, --seed S.
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/policy_factory.hpp"
 #include "sim/experiment.hpp"
@@ -29,9 +30,7 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace ncb;
   const ArgParse args(argc, argv);
 
@@ -141,4 +140,16 @@ int main(int argc, char** argv) {
   for (auto& s : figure) s.values = downsample(s.values, 72);
   std::cout << '\n' << render_plot(figure, opts);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << (argc > 0 ? argv[0] : "policy_comparison")
+              << ": error: " << e.what() << '\n';
+    return 2;
+  }
 }

@@ -69,6 +69,9 @@ RunResult run_single_play(SinglePlayPolicy& policy, Environment& env,
   if (is_combinatorial(scenario)) {
     throw std::invalid_argument("run_single_play: single-play scenario required");
   }
+  if (options.horizon <= 0) {
+    throw std::invalid_argument("run_single_play: horizon must be positive");
+  }
   const BanditInstance& instance = env.instance();
   const Graph& graph = instance.graph();
   const std::size_t k = instance.num_arms();
@@ -137,6 +140,9 @@ RunResult run_combinatorial(CombinatorialPolicy& policy,
                             Scenario scenario, const RunnerOptions& options) {
   if (!is_combinatorial(scenario)) {
     throw std::invalid_argument("run_combinatorial: combinatorial scenario required");
+  }
+  if (options.horizon <= 0) {
+    throw std::invalid_argument("run_combinatorial: horizon must be positive");
   }
   const BanditInstance& instance = env.instance();
   const std::size_t k = instance.num_arms();

@@ -1,5 +1,7 @@
 #include "util/arg_parse.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -49,13 +51,31 @@ std::int64_t ArgParse::get_int(const std::string& name,
                                std::int64_t fallback) const {
   const auto v = raw(name);
   if (!v || v->empty()) return fallback;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" +
+                                *v + "'");
+  }
+  return parsed;
 }
 
 double ArgParse::get_double(const std::string& name, double fallback) const {
   const auto v = raw(name);
   if (!v || v->empty()) return fallback;
-  return std::strtod(v->c_str(), nullptr);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v->c_str(), &end);
+  // ERANGE underflow still yields a usable (sub)normal value; only reject
+  // overflow.
+  const bool overflow =
+      errno == ERANGE && (parsed == HUGE_VAL || parsed == -HUGE_VAL);
+  if (end == v->c_str() || *end != '\0' || overflow) {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" +
+                                *v + "'");
+  }
+  return parsed;
 }
 
 bool ArgParse::get_bool(const std::string& name, bool fallback) const {

@@ -22,8 +22,12 @@ class ArgParse {
 
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
+  /// Returns `fallback` when the flag is absent or empty; throws
+  /// std::invalid_argument when its value is not a number in range.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// Returns `fallback` when the flag is absent or empty; throws
+  /// std::invalid_argument when its value is not a number in range.
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

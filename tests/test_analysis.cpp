@@ -69,7 +69,9 @@ TEST(DecomposeCombinatorial, BestStrategyArmsHaveZeroGap) {
       decompose_combinatorial(result, inst, *family, Scenario::kCso);
   // Optimal CSO strategy is {1,3}; arms 1 and 3 must carry zero gap.
   for (const auto& row : d.rows) {
-    if (row.arm == 1 || row.arm == 3) EXPECT_DOUBLE_EQ(row.gap, 0.0);
+    if (row.arm == 1 || row.arm == 3) {
+      EXPECT_DOUBLE_EQ(row.gap, 0.0);
+    }
   }
   EXPECT_GT(d.total, 0.0);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace ncb {
 namespace {
 
@@ -60,6 +62,41 @@ TEST(ArgParse, ProgramName) {
 TEST(ArgParse, LastValueWins) {
   const auto args = parse({"prog", "--n=1", "--n=2"});
   EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+TEST(ArgParse, NonNumericIntThrows) {
+  const auto args = parse({"prog", "--horizon", "abc"});
+  EXPECT_THROW(static_cast<void>(args.get_int("horizon", 0)),
+               std::invalid_argument);
+}
+
+TEST(ArgParse, TrailingGarbageIntThrows) {
+  const auto args = parse({"prog", "--horizon=50x"});
+  EXPECT_THROW(static_cast<void>(args.get_int("horizon", 0)),
+               std::invalid_argument);
+}
+
+TEST(ArgParse, NonNumericDoubleThrows) {
+  const auto args = parse({"prog", "--p=high"});
+  EXPECT_THROW(static_cast<void>(args.get_double("p", 0.0)),
+               std::invalid_argument);
+}
+
+TEST(ArgParse, OutOfRangeThrows) {
+  const auto args =
+      parse({"prog", "--horizon=99999999999999999999", "--p=1e999"});
+  EXPECT_THROW(static_cast<void>(args.get_int("horizon", 0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(args.get_double("p", 0.0)),
+               std::invalid_argument);
+}
+
+TEST(ArgParse, SubnormalDoubleAccepted) {
+  // strtod underflow sets ERANGE but returns the subnormal: still valid.
+  const auto args = parse({"prog", "--p=1e-310"});
+  const double p = args.get_double("p", 0.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1e-300);
 }
 
 }  // namespace

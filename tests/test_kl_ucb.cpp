@@ -22,7 +22,9 @@ TEST(BernoulliKl, NonNegativeAndZeroOnlyAtEquality) {
     for (double q = 0.1; q < 1.0; q += 0.2) {
       const double kl = KlUcb::bernoulli_kl(p, q);
       EXPECT_GE(kl, 0.0);
-      if (std::fabs(p - q) > 1e-9) EXPECT_GT(kl, 0.0);
+      if (std::fabs(p - q) > 1e-9) {
+        EXPECT_GT(kl, 0.0);
+      }
     }
   }
 }

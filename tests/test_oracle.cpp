@@ -45,7 +45,8 @@ TEST(ExactCoverageOracle, PicksArgmax) {
 TEST(ExactCoverageOracle, SizeMismatchThrows) {
   const auto family = make_subset_family(shared_graph(path_graph(4)), 2);
   const ExactCoverageOracle oracle;
-  EXPECT_THROW(oracle.select(family, {1.0}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(oracle.select(family, {1.0})),
+               std::invalid_argument);
 }
 
 TEST(ExactCoverageOracle, MatchesBruteForceOnRandomInstances) {
@@ -94,7 +95,8 @@ TEST(GreedyCoverageOracle, ExactOnModularCase) {
 TEST(GreedyCoverageOracle, RequiresSubsetFamily) {
   const auto family = make_independent_set_family(shared_graph(path_graph(4)));
   const GreedyCoverageOracle greedy;
-  EXPECT_THROW(greedy.select(family, {1, 1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(greedy.select(family, {1, 1, 1, 1})),
+               std::invalid_argument);
 }
 
 TEST(GreedyCoverageOracle, ApproximationGuaranteeHolds) {

@@ -50,6 +50,16 @@ TEST(OptimalStrategy, FindsArgmax) {
                std::invalid_argument);
 }
 
+TEST(RunSinglePlay, NonPositiveHorizonThrows) {
+  const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
+  Environment env(inst, 1);
+  RandomPolicy policy(3);
+  RunnerOptions opts;
+  opts.horizon = 0;
+  EXPECT_THROW((void)run_single_play(policy, env, Scenario::kSso, opts),
+               std::invalid_argument);
+}
+
 TEST(RunSinglePlay, DeterministicRegretWithConstantArms) {
   // Two disconnected arms, 0.9 vs 0.4: every slot playing arm 1 costs 0.5.
   const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
@@ -139,6 +149,19 @@ TEST(RunCombinatorial, CsoRegretDeterministicWithConstants) {
   // With constant arms, the index policy must lock onto the optimum; the
   // last slots have zero regret.
   EXPECT_NEAR(result.per_slot_regret.back(), 0.0, 1e-9);
+}
+
+TEST(RunCombinatorial, NonPositiveHorizonThrows) {
+  const auto inst = constant_instance(path_graph(4), {0.1, 0.8, 0.3, 0.6});
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  Environment env(inst, 1);
+  DflCso policy(family);
+  RunnerOptions opts;
+  opts.horizon = 0;
+  EXPECT_THROW(
+      (void)run_combinatorial(policy, *family, env, Scenario::kCso, opts),
+      std::invalid_argument);
 }
 
 TEST(RunCombinatorial, CsrUsesCoverageReward) {
