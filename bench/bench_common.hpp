@@ -4,7 +4,8 @@
 // series the paper plots, and (c) an ASCII rendering of the figure, so
 // `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
 // Common flags: --horizon, --reps, --arms, --p, --m, --seed, --quick,
-// --csv-points (series downsampling for the CSV block).
+// --csv-points (series downsampling for the CSV block), and
+// --list-policies (print the policy registry and exit 0).
 #pragma once
 
 #include <cstdlib>
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/policy_registry.hpp"
 #include "sim/experiment.hpp"
 #include "util/arg_parse.hpp"
 #include "util/ascii_plot.hpp"
@@ -37,6 +39,10 @@ struct CommonFlags {
 inline CommonFlags parse_common(int argc, char** argv) {
   try {
     const ArgParse args(argc, argv);
+    if (args.has("list-policies")) {
+      std::cout << PolicyRegistry::instance().render_listing();
+      std::exit(0);
+    }
     const auto positive = [&](const char* name, std::int64_t v) {
       if (v <= 0) {
         throw std::invalid_argument(std::string("--") + name +

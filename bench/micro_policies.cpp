@@ -1,6 +1,9 @@
 // A7 — google-benchmark microbenchmarks: per-step CPU cost of every policy
 // (select + observe), plus the substrate hot paths (graph construction,
-// clique cover, strategy-graph build, oracle calls).
+// clique cover, strategy-graph build, oracle calls), plus the observe-path
+// delivery comparison (one batched span per slot vs one singleton span per
+// edge) on a dense ER graph — the before/after evidence for the batched
+// ObservationSpan API.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -60,6 +63,55 @@ void BM_CombinatorialPolicyStep(benchmark::State& state,
     benchmark::DoNotOptimize(x);
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+// Per-slot observe cost on a dense ER graph (K = 400, p = 0.6): a slot
+// reveals ~241 (arm, value) pairs. Batched = one observe() call with a span
+// over the runner's reused batch (what the runner does); PerEdge = one
+// observe() call per revealed pair with a singleton span (the pre-span
+// delivery granularity). Only side-observation learners qualify — they are
+// indifferent to how the slot's pairs are chunked.
+void BM_ObservePerSlotBatched(benchmark::State& state,
+                              const std::string& name) {
+  const Graph g = bench_graph(400, 0.6);
+  const auto policy = make_single_play_policy(name, 1 << 20, 7);
+  policy->reset(g);
+  Xoshiro256 rng(9);
+  const ArmId played = 0;
+  ObservationBatch batch;
+  batch.reserve(g.num_vertices());
+  for (const ArmId j : g.closed_neighborhood(played)) {
+    batch.add(j, rng.uniform());
+  }
+  TimeSlot t = 0;
+  for (auto _ : state) {
+    ++t;
+    policy->observe(played, t, batch.span());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+
+void BM_ObservePerSlotPerEdge(benchmark::State& state,
+                              const std::string& name) {
+  const Graph g = bench_graph(400, 0.6);
+  const auto policy = make_single_play_policy(name, 1 << 20, 7);
+  policy->reset(g);
+  Xoshiro256 rng(9);
+  const ArmId played = 0;
+  std::vector<Observation> observations;
+  for (const ArmId j : g.closed_neighborhood(played)) {
+    observations.push_back({j, rng.uniform()});
+  }
+  TimeSlot t = 0;
+  for (auto _ : state) {
+    ++t;
+    for (const Observation& obs : observations) {
+      policy->observe(played, t, ObservationSpan(&obs, 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(observations.size()));
 }
 
 void BM_ErdosRenyi(benchmark::State& state) {
@@ -134,6 +186,13 @@ BENCHMARK_CAPTURE(BM_CombinatorialPolicyStep, dfl_csr_greedy, "dfl-csr-greedy")
     ->Arg(12)
     ->Arg(20);
 BENCHMARK_CAPTURE(BM_CombinatorialPolicyStep, cucb, "cucb")->Arg(12)->Arg(20);
+
+BENCHMARK_CAPTURE(BM_ObservePerSlotBatched, dfl_sso, "dfl-sso");
+BENCHMARK_CAPTURE(BM_ObservePerSlotPerEdge, dfl_sso, "dfl-sso");
+BENCHMARK_CAPTURE(BM_ObservePerSlotBatched, ucb_n, "ucb-n");
+BENCHMARK_CAPTURE(BM_ObservePerSlotPerEdge, ucb_n, "ucb-n");
+BENCHMARK_CAPTURE(BM_ObservePerSlotBatched, exp3_set, "exp3-set");
+BENCHMARK_CAPTURE(BM_ObservePerSlotPerEdge, exp3_set, "exp3-set");
 
 BENCHMARK(BM_ErdosRenyi)->Arg(100)->Arg(400);
 BENCHMARK(BM_GreedyCliqueCover)->Arg(100)->Arg(400);

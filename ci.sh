@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # CI gate: the tier-1 verify command (ROADMAP.md) plus the sanitizer pass.
-# Usage: ./ci.sh            — Release build, full ctest, then ASan/UBSan ctest.
+# Usage: ./ci.sh            — -Werror Release build, full ctest, observe-path
+#                             smoke, then ASan/UBSan ctest.
 #        NCB_CI_JOBS=N ./ci.sh — override parallelism.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${NCB_CI_JOBS:-$(nproc)}"
 
-echo "== tier-1: Release build + full test suite =="
-cmake -B build -S .
+echo "== tier-1: -Werror Release build + full test suite =="
+cmake -B build -S . -DNCB_WERROR=ON
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+if [ -x build/bench/micro_policies ]; then
+  echo "== observe-path smoke: batched vs per-edge delivery must run =="
+  ./build/bench/micro_policies --benchmark_filter='ObservePerSlot' \
+      --benchmark_min_time=0.01
+else
+  echo "== micro_policies not built (Google Benchmark absent) — smoke skipped =="
+fi
 
 echo "== sanitizers: ASan/UBSan build + test suite =="
 cmake -B build-asan -S . -DNCB_SANITIZE=ON -DNCB_BUILD_BENCH=OFF -DNCB_BUILD_EXAMPLES=OFF

@@ -3,7 +3,8 @@
 //   ./policy_comparison --scenario=sso --policy=dfl-sso --arms=50 --p=0.4
 //   ./policy_comparison --scenario=csr --policy=dfl-csr --arms=15 --m=2
 //   ./policy_comparison --scenario=cso --family=is --arms=12   # Fig 2 style
-//   ./policy_comparison --list
+//   ./policy_comparison --policy=eps-greedy:eps=0.05,ucb1:c=4  # param specs
+//   ./policy_comparison --list            # registry names + docs + params
 //
 // Flags: --scenario {sso,ssr,cso,csr}, --policy NAME (repeatable via comma
 // list), --arms K, --p density, --m strategy size, --family {subsets,is},
@@ -14,18 +15,30 @@
 #include <stdexcept>
 
 #include "core/policy_factory.hpp"
+#include "core/policy_registry.hpp"
 #include "sim/experiment.hpp"
 #include "util/arg_parse.hpp"
 #include "util/ascii_plot.hpp"
 
 namespace {
 
-std::vector<std::string> split_csv(const std::string& text) {
+// Splits the --policy list on commas, except that a segment containing '='
+// but no ':' continues the previous spec's parameter list ("a:x=1,y=2,b"
+// → {"a:x=1,y=2", "b"}; policy names never contain '=').
+std::vector<std::string> split_policy_list(const std::string& text) {
   std::vector<std::string> out;
   std::istringstream in(text);
   std::string item;
   while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
+    if (item.empty()) continue;
+    const bool continues_params = !out.empty() &&
+                                  item.find('=') != std::string::npos &&
+                                  item.find(':') == std::string::npos;
+    if (continues_params) {
+      out.back() += ',' + item;
+    } else {
+      out.push_back(item);
+    }
   }
   return out;
 }
@@ -34,12 +47,9 @@ int run(int argc, char** argv) {
   using namespace ncb;
   const ArgParse args(argc, argv);
 
-  if (args.has("list")) {
-    std::cout << "single-play policies:";
-    for (const auto& n : single_play_policy_names()) std::cout << ' ' << n;
-    std::cout << "\ncombinatorial policies:";
-    for (const auto& n : combinatorial_policy_names()) std::cout << ' ' << n;
-    std::cout << "\nscenarios: sso ssr cso csr\n";
+  if (args.has("list") || args.has("list-policies")) {
+    std::cout << PolicyRegistry::instance().render_listing()
+              << "scenarios: sso ssr cso csr\n";
     return 0;
   }
 
@@ -81,7 +91,8 @@ int run(int argc, char** argv) {
 
   const std::string default_policy =
       is_combinatorial(scenario) ? "dfl-cso" : "dfl-sso";
-  const auto policies = split_csv(args.get_string("policy", default_policy));
+  const auto policies =
+      split_policy_list(args.get_string("policy", default_policy));
 
   std::cout << config.describe() << "  scenario=" << scenario_name(scenario)
             << '\n';
@@ -125,7 +136,10 @@ int run(int argc, char** argv) {
                     return make_single_play_policy(policy, config.horizon, seed);
                   },
                   instance, scenario, ro);
-    std::cout << policy << ',' << result.final_cumulative.mean() << ','
+    // Multi-param specs contain commas; CSV-quote them to keep 4 columns.
+    const bool needs_quoting = policy.find(',') != std::string::npos;
+    std::cout << (needs_quoting ? "\"" + policy + "\"" : policy) << ','
+              << result.final_cumulative.mean() << ','
               << result.final_cumulative.ci95_halfwidth() << ','
               << result.final_cumulative.mean() /
                      static_cast<double>(config.horizon)

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
+#include "core/policy_registry.hpp"
 #include "strategy/oracle.hpp"
 
 namespace ncb {
@@ -38,14 +40,37 @@ StrategyId Cucb::select(TimeSlot t) {
 }
 
 void Cucb::observe(StrategyId played, TimeSlot /*t*/,
-                   const std::vector<Observation>& observations) {
+                   ObservationSpan observations) {
   // No side bonus: consume only the component arms of the played strategy.
   const Bitset64& bits = family_->strategy_bits(played);
-  for (const auto& obs : observations) {
+  for (const Observation& obs : observations) {
     if (bits.test(static_cast<std::size_t>(obs.arm))) {
       stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
     }
   }
 }
+
+std::string Cucb::describe() const {
+  std::ostringstream out;
+  out << name() << "(c=" << options_.exploration << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegCucb{{
+    "cucb",
+    "combinatorial UCB baseline without side bonus (Gai/Chen et al.)",
+    kCsoBit | kCsrBit,
+    {{"c", ParamKind::kDouble, "exploration scale", "1.5", false}},
+    nullptr,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<Cucb>(
+          ctx.family, CucbOptions{.exploration = p.get_double("c", 1.5),
+                                  .seed = ctx.seed});
+    },
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -27,8 +27,9 @@ class Cucb final : public CombinatorialPolicy {
   void reset() override;
   [[nodiscard]] StrategyId select(TimeSlot t) override;
   void observe(StrategyId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+               ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override { return "CUCB"; }
+  [[nodiscard]] std::string describe() const override;
 
   [[nodiscard]] std::int64_t play_count(ArmId i) const {
     return stats_.at(static_cast<std::size_t>(i)).count;

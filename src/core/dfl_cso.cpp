@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/policy_registry.hpp"
 #include "strategy/strategy_graph.hpp"
 #include "util/math.hpp"
 
@@ -65,14 +66,14 @@ StrategyId DflCso::select(TimeSlot t) {
 }
 
 void DflCso::observe(StrategyId played, TimeSlot /*t*/,
-                     const std::vector<Observation>& observations) {
+                     ObservationSpan observations) {
   // Stage the arm values; observations normally cover Y_played, and every
   // com-arm in the update list has all component arms inside Y_played. When
   // feedback is unreliable (dropped side observations), a com-arm whose
   // component arms were not all revealed this slot is skipped rather than
   // updated with stale values.
   ++epoch_;
-  for (const auto& obs : observations) {
+  for (const Observation& obs : observations) {
     scratch_rewards_.at(static_cast<std::size_t>(obs.arm)) = obs.value;
     scratch_stamp_.at(static_cast<std::size_t>(obs.arm)) = epoch_;
   }
@@ -95,5 +96,38 @@ std::string DflCso::name() const {
              ? "DFL-CSO"
              : "DFL-CSO(all-observable)";
 }
+
+namespace {
+
+const PolicyRegistration kRegDflCso{{
+    "dfl-cso",
+    "Algorithm 2: combinatorial side-observation learner over the strategy "
+    "graph",
+    kCsoBit,
+    {},
+    nullptr,
+    [](const PolicyParams&, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflCso>(
+          ctx.family,
+          DflCsoOptions{.scope = CsoUpdateScope::kStrategyGraph,
+                        .seed = ctx.seed});
+    },
+}};
+
+const PolicyRegistration kRegDflCsoObservable{{
+    "dfl-cso-observable",
+    "DFL-CSO updating every com-arm contained in the observed set",
+    kCsoBit,
+    {},
+    nullptr,
+    [](const PolicyParams&, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflCso>(
+          ctx.family,
+          DflCsoOptions{.scope = CsoUpdateScope::kAllObservable,
+                        .seed = ctx.seed});
+    },
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -47,7 +47,7 @@ class DflCso final : public CombinatorialPolicy {
   void reset() override;
   [[nodiscard]] StrategyId select(TimeSlot t) override;
   void observe(StrategyId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+               ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] const FeasibleSet& family() const noexcept { return *family_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/policy_registry.hpp"
 #include "util/math.hpp"
 
 namespace ncb {
@@ -44,10 +45,10 @@ StrategyId DflCsr::select(TimeSlot t) {
 }
 
 void DflCsr::observe(StrategyId /*played*/, TimeSlot /*t*/,
-                     const std::vector<Observation>& observations) {
-  // Observations cover Y_x; update every revealed arm (pseudocode line
-  // "for k ∈ Y_x").
-  for (const auto& obs : observations) {
+                     ObservationSpan observations) {
+  // Observations cover Y_x; update every revealed arm in one batched pass
+  // (pseudocode line "for k ∈ Y_x").
+  for (const Observation& obs : observations) {
     stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
   }
 }
@@ -55,5 +56,41 @@ void DflCsr::observe(StrategyId /*played*/, TimeSlot /*t*/,
 std::string DflCsr::name() const {
   return oracle_->name() == "exact" ? "DFL-CSR" : "DFL-CSR(greedy)";
 }
+
+namespace {
+
+const std::vector<ParamSpec> kDflCsrParams{
+    {"unobserved", ParamKind::kDouble,
+     "score stand-in for +inf on never-observed arms", "1e6", false}};
+
+const PolicyRegistration kRegDflCsr{{
+    "dfl-csr",
+    "Algorithm 4: combinatorial side-reward learner, exact oracle",
+    kCsrBit,
+    kDflCsrParams,
+    nullptr,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflCsr>(
+          ctx.family, nullptr,
+          DflCsrOptions{.unobserved_score = p.get_double("unobserved", 1e6),
+                        .seed = ctx.seed});
+    },
+}};
+
+const PolicyRegistration kRegDflCsrGreedy{{
+    "dfl-csr-greedy",
+    "DFL-CSR with the scalable (1-1/e)-approximate lazy-greedy oracle",
+    kCsrBit,
+    kDflCsrParams,
+    nullptr,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflCsr>(
+          ctx.family, std::make_shared<const GreedyCoverageOracle>(),
+          DflCsrOptions{.unobserved_score = p.get_double("unobserved", 1e6),
+                        .seed = ctx.seed});
+    },
+}};
+
+}  // namespace
 
 }  // namespace ncb

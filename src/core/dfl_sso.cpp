@@ -1,20 +1,19 @@
 #include "core/dfl_sso.hpp"
 
 #include <limits>
-#include <stdexcept>
+#include <sstream>
 
+#include "core/policy_registry.hpp"
 #include "util/math.hpp"
 
 namespace ncb {
 
 DflSso::DflSso(DflSsoOptions options)
-    : options_(options), rng_(options.seed) {}
+    : ArmStatIndexPolicy(options.seed), options_(options) {}
 
-void DflSso::reset(const Graph& graph) {
+void DflSso::on_reset(const Graph& graph) {
   graph_ = graph;
-  num_arms_ = graph.num_vertices();
-  reset_stats(stats_, num_arms_);
-  rng_ = Xoshiro256(options_.seed);
+  ArmStatIndexPolicy::on_reset(graph);
 }
 
 double DflSso::index(ArmId i, TimeSlot t) const {
@@ -27,49 +26,56 @@ double DflSso::index(ArmId i, TimeSlot t) const {
                       exploration_width(ratio, static_cast<double>(s.count));
 }
 
-ArmId DflSso::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("DflSso: reset() not called");
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      // Reservoir-style uniform tie-breaking.
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  if (options_.neighbor_greedy) {
-    // Play the empirically best arm inside N_{I_t} (§IX heuristic). The
-    // closed neighborhood always contains `best` itself.
-    ArmId play = best;
-    double play_mean = stats_[static_cast<std::size_t>(best)].mean;
-    for (const ArmId j : graph_.closed_neighborhood(best)) {
-      const ArmStat& s = stats_[static_cast<std::size_t>(j)];
-      if (s.count > 0 && s.mean > play_mean) {
-        play = j;
-        play_mean = s.mean;
-      }
-    }
-    return play;
-  }
-  return best;
-}
-
-void DflSso::observe(ArmId /*played*/, TimeSlot /*t*/,
-                     const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
-    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
-  }
+ArmId DflSso::refine_selection(ArmId best) {
+  if (!options_.neighbor_greedy) return best;
+  // Play the empirically best arm inside N_{I_t} (§IX heuristic). The
+  // closed neighborhood always contains `best` itself.
+  return best_empirical_in_neighborhood(graph_, best);
 }
 
 std::string DflSso::name() const {
   return options_.neighbor_greedy ? "DFL-SSO+greedy" : "DFL-SSO";
 }
+
+std::string DflSso::describe() const {
+  std::ostringstream out;
+  out << name() << "(eta=" << options_.exploration_scale << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegDflSso{{
+    "dfl-sso",
+    "Algorithm 1: distribution-free single-play learner, batched "
+    "closed-neighborhood updates",
+    kSsoBit,
+    {{"eta", ParamKind::kDouble, "exploration width multiplier", "1.0",
+      false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflSso>(DflSsoOptions{
+          .neighbor_greedy = false,
+          .exploration_scale = p.get_double("eta", 1.0),
+          .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegDflSsoGreedy{{
+    "dfl-sso-greedy",
+    "DFL-SSO with the paper's neighbor-greedy play heuristic",
+    kSsoBit,
+    {{"eta", ParamKind::kDouble, "exploration width multiplier", "1.0",
+      false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflSso>(DflSsoOptions{
+          .neighbor_greedy = true,
+          .exploration_scale = p.get_double("eta", 1.0),
+          .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

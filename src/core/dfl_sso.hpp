@@ -4,15 +4,11 @@
 // Index: X̄_i + sqrt(log⁺(t / (K·O_i)) / O_i), where O_i counts *all*
 // observations of arm i (direct plays plus side observations from playing a
 // neighbor). Every slot updates the statistics of the whole closed
-// neighborhood N_{I_t}, which is exactly the observation set the runner
-// delivers. Theorem 1: R_n ≤ 15.94·sqrt(nK) + 0.74·C·sqrt(n/K).
+// neighborhood N_{I_t} in one batched pass — exactly the observation set
+// the runner delivers. Theorem 1: R_n ≤ 15.94·sqrt(nK) + 0.74·C·sqrt(n/K).
 #pragma once
 
-#include <vector>
-
-#include "core/arm_stats.hpp"
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -27,33 +23,22 @@ struct DflSsoOptions {
   std::uint64_t seed = 0x5eed5501;
 };
 
-class DflSso final : public SinglePlayPolicy {
+class DflSso final : public ArmStatIndexPolicy {
  public:
   explicit DflSso(DflSsoOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
-  [[nodiscard]] std::string name() const override;
-
-  /// Observation count O_i (for tests / diagnostics).
-  [[nodiscard]] std::int64_t observation_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
-  }
-  /// Empirical mean X̄_i.
-  [[nodiscard]] double empirical_mean(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).mean;
-  }
   /// The index value of arm i at slot t (+inf when unobserved).
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ protected:
+  void on_reset(const Graph& graph) override;
+  [[nodiscard]] ArmId refine_selection(ArmId best) override;
 
  private:
   DflSsoOptions options_;
   Graph graph_{0};  // copied at reset(); no external lifetime requirement
-  std::size_t num_arms_ = 0;
-  std::vector<ArmStat> stats_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

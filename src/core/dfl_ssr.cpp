@@ -2,23 +2,22 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
 
+#include "core/policy_registry.hpp"
 #include "util/math.hpp"
 
 namespace ncb {
 
-DflSsr::DflSsr(DflSsrOptions options) : options_(options), rng_(options.seed) {}
+DflSsr::DflSsr(DflSsrOptions options)
+    : SingleIndexPolicy(options.seed), options_(options) {}
 
-void DflSsr::reset(const Graph& graph) {
+void DflSsr::on_reset(const Graph& graph) {
   graph_ = graph;
-  num_arms_ = graph.num_vertices();
   reset_stats(direct_, num_arms_);
   prefix_sums_.assign(num_arms_, {});
   if (options_.estimator == SsrEstimator::kPaired) {
     for (auto& ps : prefix_sums_) ps.reserve(64);
   }
-  rng_ = Xoshiro256(options_.seed);
 }
 
 std::int64_t DflSsr::side_observation_count(ArmId i) const {
@@ -57,28 +56,9 @@ double DflSsr::index(ArmId i, TimeSlot t) const {
          exploration_width(ratio, static_cast<double>(ob));
 }
 
-ArmId DflSsr::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("DflSsr: reset() not called");
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
-}
-
 void DflSsr::observe(ArmId /*played*/, TimeSlot /*t*/,
-                     const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
+                     ObservationSpan observations) {
+  for (const Observation& obs : observations) {
     const auto i = static_cast<std::size_t>(obs.arm);
     direct_[i].add(obs.value);
     if (options_.estimator == SsrEstimator::kPaired) {
@@ -92,5 +72,39 @@ std::string DflSsr::name() const {
   return options_.estimator == SsrEstimator::kPaired ? "DFL-SSR"
                                                      : "DFL-SSR(mean-sum)";
 }
+
+std::string DflSsr::describe() const {
+  return options_.estimator == SsrEstimator::kPaired
+             ? "DFL-SSR(estimator=paired)"
+             : "DFL-SSR(estimator=mean-sum)";
+}
+
+namespace {
+
+const PolicyRegistration kRegDflSsr{{
+    "dfl-ssr",
+    "Algorithm 3: single-play side-reward learner, paired estimator",
+    kSsrBit,
+    {},
+    [](const PolicyParams&, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflSsr>(
+          DflSsrOptions{.estimator = SsrEstimator::kPaired, .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegDflSsrMeanSum{{
+    "dfl-ssr-meansum",
+    "DFL-SSR with the O(K)-memory mean-sum estimator",
+    kSsrBit,
+    {},
+    [](const PolicyParams&, const PolicyBuildContext& ctx) {
+      return std::make_unique<DflSsr>(DflSsrOptions{
+          .estimator = SsrEstimator::kMeanSum, .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -20,8 +20,7 @@
 #include <vector>
 
 #include "core/arm_stats.hpp"
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -35,15 +34,13 @@ struct DflSsrOptions {
   std::uint64_t seed = 0x5eed5512;
 };
 
-class DflSsr final : public SinglePlayPolicy {
+class DflSsr final : public SingleIndexPolicy {
  public:
   explicit DflSsr(DflSsrOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
 
   /// Direct-observation count O_i.
   [[nodiscard]] std::int64_t observation_count(ArmId i) const {
@@ -55,15 +52,16 @@ class DflSsr final : public SinglePlayPolicy {
   [[nodiscard]] double side_reward_estimate(ArmId i) const;
   /// Index value of arm i at slot t (+inf when Ob_i = 0). The [0,K]-ranged
   /// side reward is used unnormalized, as in the pseudocode.
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
+
+ protected:
+  void on_reset(const Graph& graph) override;
 
  private:
   DflSsrOptions options_;
   Graph graph_{0};  // copied at reset(); no external lifetime requirement
-  std::size_t num_arms_ = 0;
   std::vector<ArmStat> direct_;                    // O_i and X̄_i
   std::vector<std::vector<double>> prefix_sums_;   // kPaired: per-arm Σ first m obs
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
@@ -52,8 +55,8 @@ ArmId EpsilonGreedy::select(TimeSlot t) {
 }
 
 void EpsilonGreedy::observe(ArmId played, TimeSlot /*t*/,
-                            const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
+                            ObservationSpan observations) {
+  for (const Observation& obs : observations) {
     if (options_.use_side_observations || obs.arm == played) {
       stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
     }
@@ -65,5 +68,62 @@ std::string EpsilonGreedy::name() const {
   if (options_.use_side_observations) base += "+side";
   return base;
 }
+
+std::string EpsilonGreedy::describe() const {
+  std::ostringstream out;
+  out << name();
+  if (options_.decay) {
+    out << "(c=" << options_.c << ",d=" << options_.d << ")";
+  } else {
+    out << "(eps=" << options_.epsilon << ")";
+  }
+  return out.str();
+}
+
+namespace {
+
+const std::vector<ParamSpec> kEpsGreedyParams{
+    {"eps", ParamKind::kDouble, "exploration probability (fixed mode)", "0.1",
+     false},
+    {"decay", ParamKind::kBool, "use the 1/t decay schedule", "false", false},
+    {"c", ParamKind::kDouble, "decay numerator constant", "5.0", false},
+    {"d", ParamKind::kDouble, "decay gap parameter", "0.1", false}};
+
+EpsilonGreedyOptions eps_greedy_options(const PolicyParams& p,
+                                        const PolicyBuildContext& ctx,
+                                        bool side) {
+  EpsilonGreedyOptions opts;
+  opts.epsilon = p.get_double("eps", opts.epsilon);
+  opts.decay = p.get_bool("decay", opts.decay);
+  opts.c = p.get_double("c", opts.c);
+  opts.d = p.get_double("d", opts.d);
+  opts.use_side_observations = side;
+  opts.seed = ctx.seed;
+  return opts;
+}
+
+const PolicyRegistration kRegEpsGreedy{{
+    "eps-greedy",
+    "epsilon-greedy sanity baseline (played arm only)",
+    kSsoBit | kSsrBit,
+    kEpsGreedyParams,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<EpsilonGreedy>(eps_greedy_options(p, ctx, false));
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegEpsGreedySide{{
+    "eps-greedy-side",
+    "epsilon-greedy consuming side observations",
+    kSsoBit,
+    kEpsGreedyParams,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<EpsilonGreedy>(eps_greedy_options(p, ctx, true));
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

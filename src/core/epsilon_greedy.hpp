@@ -25,9 +25,9 @@ class EpsilonGreedy final : public SinglePlayPolicy {
 
   void reset(const Graph& graph) override;
   [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
 
   [[nodiscard]] double epsilon_at(TimeSlot t) const;
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
@@ -45,8 +48,8 @@ ArmId Exp3::select(TimeSlot /*t*/) {
 }
 
 void Exp3::observe(ArmId played, TimeSlot /*t*/,
-                   const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
+                   ObservationSpan observations) {
+  for (const Observation& obs : observations) {
     if (obs.arm != played) continue;
     const auto i = static_cast<std::size_t>(played);
     const double estimated = obs.value / std::max(probs_[i], 1e-12);
@@ -59,5 +62,27 @@ void Exp3::observe(ArmId played, TimeSlot /*t*/,
 double Exp3::probability(ArmId i) const {
   return probs_.at(static_cast<std::size_t>(i));
 }
+
+std::string Exp3::describe() const {
+  std::ostringstream out;
+  out << name() << "(gamma=" << options_.gamma << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegExp3{{
+    "exp3",
+    "adversarial exponential-weights baseline (no side information)",
+    kSsoBit | kSsrBit,
+    {{"gamma", ParamKind::kDouble, "exploration mix in (0,1]", "0.05", false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<Exp3>(Exp3Options{
+          .gamma = p.get_double("gamma", 0.05), .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -23,9 +23,9 @@ class Exp3 final : public SinglePlayPolicy {
 
   void reset(const Graph& graph) override;
   [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override { return "Exp3"; }
+  [[nodiscard]] std::string describe() const override;
 
   [[nodiscard]] double probability(ArmId i) const;
 

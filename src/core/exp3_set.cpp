@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
@@ -53,11 +56,11 @@ ArmId Exp3Set::select(TimeSlot /*t*/) {
 }
 
 void Exp3Set::observe(ArmId /*played*/, TimeSlot /*t*/,
-                      const std::vector<Observation>& observations) {
+                      ObservationSpan observations) {
   // Exp3-SET (Alon et al. 2013): every *observed* arm gets an importance-
   // weighted loss update with its observation probability q_i, not the play
   // probability. Rewards r ∈ [0,1] become losses (1 - r).
-  for (const auto& obs : observations) {
+  for (const Observation& obs : observations) {
     const auto i = static_cast<std::size_t>(obs.arm);
     const double q = std::max(observation_probability(obs.arm), 1e-12);
     const double estimated_loss = (1.0 - obs.value) / q;
@@ -68,5 +71,27 @@ void Exp3Set::observe(ArmId /*played*/, TimeSlot /*t*/,
 double Exp3Set::probability(ArmId i) const {
   return probs_.at(static_cast<std::size_t>(i));
 }
+
+std::string Exp3Set::describe() const {
+  std::ostringstream out;
+  out << name() << "(eta=" << options_.eta << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegExp3Set{{
+    "exp3-set",
+    "adversarial exponential weights exploiting side observations",
+    kSsoBit,
+    {{"eta", ParamKind::kDouble, "learning rate > 0", "0.05", false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<Exp3Set>(Exp3SetOptions{
+          .eta = p.get_double("eta", 0.05), .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -27,9 +27,9 @@ class Exp3Set final : public SinglePlayPolicy {
 
   void reset(const Graph& graph) override;
   [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override { return "Exp3-SET"; }
+  [[nodiscard]] std::string describe() const override;
 
   [[nodiscard]] double probability(ArmId i) const;
   /// q_i: probability that arm i is observed under the current play

@@ -1,0 +1,62 @@
+#include "core/index_policy.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ncb {
+
+void SingleIndexPolicy::reset(const Graph& graph) {
+  num_arms_ = graph.num_vertices();
+  rng_ = Xoshiro256(seed_);
+  on_reset(graph);
+}
+
+ArmId SingleIndexPolicy::select(TimeSlot t) {
+  if (num_arms_ == 0) {
+    throw std::logic_error(name() + ": reset() not called");
+  }
+  before_select(t);
+  ArmId best = 0;
+  double best_index = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    const double idx = index(static_cast<ArmId>(i), t);
+    if (idx > best_index) {
+      best_index = idx;
+      best = static_cast<ArmId>(i);
+      ties = 1;
+    } else if (idx == best_index) {
+      // Reservoir-style uniform tie-breaking.
+      ++ties;
+      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+    }
+  }
+  return refine_selection(best);
+}
+
+void ArmStatIndexPolicy::on_reset(const Graph& /*graph*/) {
+  reset_stats(stats_, num_arms_);
+}
+
+void ArmStatIndexPolicy::observe(ArmId /*played*/, TimeSlot /*t*/,
+                                 ObservationSpan observations) {
+  for (const Observation& obs : observations) {
+    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+  }
+}
+
+ArmId ArmStatIndexPolicy::best_empirical_in_neighborhood(const Graph& graph,
+                                                         ArmId best) const {
+  ArmId play = best;
+  double play_mean = stats_[static_cast<std::size_t>(best)].mean;
+  for (const ArmId j : graph.closed_neighborhood(best)) {
+    const ArmStat& s = stats_[static_cast<std::size_t>(j)];
+    if (s.count > 0 && s.mean > play_mean) {
+      play = j;
+      play_mean = s.mean;
+    }
+  }
+  return play;
+}
+
+}  // namespace ncb

@@ -1,0 +1,81 @@
+// Shared skeleton for the single-play index policies.
+//
+// Every stochastic index learner in this codebase (DFL-SSO, DFL-SSR, MOSS,
+// UCB1, UCB-N, KL-UCB, the non-stationary DFL variants) selects
+// argmax_i index(i, t) with uniform random tie-breaking. SingleIndexPolicy
+// owns that loop plus the seeded reset plumbing so the per-policy code is
+// just the index formula and the statistics it reads.
+//
+// ArmStatIndexPolicy additionally owns the per-arm ArmStat table and
+// default-implements observe() as the *batched* update path: the whole
+// ObservationSpan is folded into the stats in one pass, which is what the
+// side-observation learners (DFL-SSO, UCB-N, KL-UCB-N) want. Played-only
+// learners (MOSS, UCB1) override observe() to filter.
+#pragma once
+
+#include <vector>
+
+#include "core/arm_stats.hpp"
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+
+class SingleIndexPolicy : public SinglePlayPolicy {
+ public:
+  void reset(const Graph& graph) final;
+  [[nodiscard]] ArmId select(TimeSlot t) final;
+
+  /// The index value of arm i at slot t (+inf forces exploration).
+  [[nodiscard]] virtual double index(ArmId i, TimeSlot t) const = 0;
+
+ protected:
+  explicit SingleIndexPolicy(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+  /// Re-initializes subclass statistics; called by reset() after the arm
+  /// count and RNG have been restored.
+  virtual void on_reset(const Graph& graph) = 0;
+
+  /// Pre-selection maintenance hook (e.g. sliding-window eviction).
+  virtual void before_select(TimeSlot /*t*/) {}
+
+  /// Post-selection refinement hook: maps the argmax-index arm to the arm
+  /// actually played (the §IX neighbor-greedy / MaxN heuristics).
+  [[nodiscard]] virtual ArmId refine_selection(ArmId best) { return best; }
+
+  std::size_t num_arms_ = 0;
+  Xoshiro256 rng_;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class ArmStatIndexPolicy : public SingleIndexPolicy {
+ public:
+  /// Batched update: folds every revealed (arm, value) pair into the stats
+  /// table in one pass. Side-observation learners inherit this as-is.
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
+
+  /// Observation count O_i (for tests / diagnostics).
+  [[nodiscard]] std::int64_t observation_count(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).count;
+  }
+  /// Empirical mean X̄_i.
+  [[nodiscard]] double empirical_mean(ArmId i) const {
+    return stats_.at(static_cast<std::size_t>(i)).mean;
+  }
+
+ protected:
+  using SingleIndexPolicy::SingleIndexPolicy;
+
+  void on_reset(const Graph& graph) override;
+
+  /// The empirically best observed arm within N_best (always contains
+  /// `best` itself) — the shared MaxN/neighbor-greedy refinement.
+  [[nodiscard]] ArmId best_empirical_in_neighborhood(const Graph& graph,
+                                                     ArmId best) const;
+
+  std::vector<ArmStat> stats_;
+};
+
+}  // namespace ncb

@@ -3,17 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
-KlUcb::KlUcb(KlUcbOptions options) : options_(options), rng_(options.seed) {}
-
-void KlUcb::reset(const Graph& graph) {
-  num_arms_ = graph.num_vertices();
-  reset_stats(stats_, num_arms_);
-  rng_ = Xoshiro256(options_.seed);
-}
+KlUcb::KlUcb(KlUcbOptions options)
+    : ArmStatIndexPolicy(options.seed), options_(options) {}
 
 double KlUcb::bernoulli_kl(double p, double q) noexcept {
   constexpr double kEps = 1e-15;
@@ -47,33 +45,21 @@ double KlUcb::index(ArmId i, TimeSlot t) const {
   return kl_upper_bound(s.mean, static_cast<double>(s.count), lt + llt);
 }
 
-ArmId KlUcb::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("KlUcb: reset() not called");
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
-}
-
-void KlUcb::observe(ArmId played, TimeSlot /*t*/,
-                    const std::vector<Observation>& observations) {
+void KlUcb::observe(ArmId played, TimeSlot t, ObservationSpan observations) {
   bool saw_played = false;
-  for (const auto& obs : observations) {
-    if (options_.use_side_observations || obs.arm == played) {
-      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+  if (options_.use_side_observations) {
+    // Batched path: absorb the whole span in one pass.
+    for (const Observation& obs : observations) {
+      saw_played = saw_played || obs.arm == played;
     }
-    saw_played = saw_played || obs.arm == played;
+    ArmStatIndexPolicy::observe(played, t, observations);
+  } else {
+    for (const Observation& obs : observations) {
+      if (obs.arm == played) {
+        stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+        saw_played = true;
+      }
+    }
   }
   if (!saw_played) {
     throw std::logic_error("KlUcb: played arm missing from observations");
@@ -83,5 +69,47 @@ void KlUcb::observe(ArmId played, TimeSlot /*t*/,
 std::string KlUcb::name() const {
   return options_.use_side_observations ? "KL-UCB-N" : "KL-UCB";
 }
+
+std::string KlUcb::describe() const {
+  std::ostringstream out;
+  out << name() << "(c=" << options_.c << ")";
+  return out.str();
+}
+
+namespace {
+
+const std::vector<ParamSpec> kKlUcbParams{
+    {"c", ParamKind::kDouble, "the c in ln t + c*ln ln t", "0.0", false}};
+
+const PolicyRegistration kRegKlUcb{{
+    "kl-ucb",
+    "KL-UCB for bounded rewards; asymptotically optimal for Bernoulli arms",
+    kSsoBit | kSsrBit,
+    kKlUcbParams,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      KlUcbOptions opts;
+      opts.c = p.get_double("c", 0.0);
+      opts.seed = ctx.seed;
+      return std::make_unique<KlUcb>(opts);
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegKlUcbN{{
+    "kl-ucb-n",
+    "KL-UCB consuming side observations (KL analogue of UCB-N)",
+    kSsoBit,
+    kKlUcbParams,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      KlUcbOptions opts;
+      opts.c = p.get_double("c", 0.0);
+      opts.use_side_observations = true;
+      opts.seed = ctx.seed;
+      return std::make_unique<KlUcb>(opts);
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -7,11 +7,7 @@
 // (a KL analogue of UCB-N).
 #pragma once
 
-#include <vector>
-
-#include "core/arm_stats.hpp"
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -23,20 +19,14 @@ struct KlUcbOptions {
   std::uint64_t seed = 0x5eedc1cb;
 };
 
-class KlUcb final : public SinglePlayPolicy {
+class KlUcb final : public ArmStatIndexPolicy {
  public:
   explicit KlUcb(KlUcbOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
   [[nodiscard]] std::string name() const override;
-
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
-  [[nodiscard]] std::int64_t observation_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
-  }
+  [[nodiscard]] std::string describe() const override;
 
   /// Bernoulli KL divergence kl(p, q) with the usual 0·log 0 conventions.
   [[nodiscard]] static double bernoulli_kl(double p, double q) noexcept;
@@ -47,9 +37,6 @@ class KlUcb final : public SinglePlayPolicy {
 
  private:
   KlUcbOptions options_;
-  std::size_t num_arms_ = 0;
-  std::vector<ArmStat> stats_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

@@ -1,19 +1,16 @@
 #include "core/moss.hpp"
 
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
+#include "core/policy_registry.hpp"
 #include "util/math.hpp"
 
 namespace ncb {
 
-Moss::Moss(MossOptions options) : options_(options), rng_(options.seed) {}
-
-void Moss::reset(const Graph& graph) {
-  num_arms_ = graph.num_vertices();
-  reset_stats(stats_, num_arms_);
-  rng_ = Xoshiro256(options_.seed);
-}
+Moss::Moss(MossOptions options)
+    : ArmStatIndexPolicy(options.seed), options_(options) {}
 
 double Moss::index(ArmId i, TimeSlot t) const {
   const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
@@ -25,29 +22,10 @@ double Moss::index(ArmId i, TimeSlot t) const {
   return s.mean + exploration_width(ratio, static_cast<double>(s.count));
 }
 
-ArmId Moss::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("Moss: reset() not called");
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
-}
-
 void Moss::observe(ArmId played, TimeSlot /*t*/,
-                   const std::vector<Observation>& observations) {
+                   ObservationSpan observations) {
   // MOSS has no side information: consume only the played arm's sample.
-  for (const auto& obs : observations) {
+  for (const Observation& obs : observations) {
     if (obs.arm == played) {
       stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
       return;
@@ -59,5 +37,43 @@ void Moss::observe(ArmId played, TimeSlot /*t*/,
 std::string Moss::name() const {
   return options_.horizon > 0 ? "MOSS" : "MOSS-anytime";
 }
+
+std::string Moss::describe() const {
+  if (options_.horizon <= 0) return name();
+  std::ostringstream out;
+  out << name() << "(horizon=" << options_.horizon << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegMoss{{
+    "moss",
+    "minimax-optimal stochastic baseline; learns only from the played arm",
+    kSsoBit | kSsrBit,
+    {{"horizon", ParamKind::kInt,
+      "known horizon n; \"auto\" selects the anytime variant", "run horizon",
+      true}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      const TimeSlot horizon =
+          p.is_auto("horizon") ? 0 : p.get_int("horizon", ctx.horizon);
+      return std::make_unique<Moss>(
+          MossOptions{.horizon = horizon, .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegMossAnytime{{
+    "moss-anytime",
+    "MOSS with the anytime index (substitutes t for the horizon)",
+    kSsoBit | kSsrBit,
+    {},
+    [](const PolicyParams&, const PolicyBuildContext& ctx) {
+      return std::make_unique<Moss>(MossOptions{.horizon = 0, .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -7,11 +7,7 @@
 // relation graph is empty.
 #pragma once
 
-#include <vector>
-
-#include "core/arm_stats.hpp"
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -21,29 +17,22 @@ struct MossOptions {
   std::uint64_t seed = 0x5eedA055;
 };
 
-class Moss final : public SinglePlayPolicy {
+class Moss final : public ArmStatIndexPolicy {
  public:
   explicit Moss(MossOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  /// Played-only update: MOSS has no side information.
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
 
   [[nodiscard]] std::int64_t play_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
+    return observation_count(i);
   }
-  [[nodiscard]] double empirical_mean(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).mean;
-  }
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
 
  private:
   MossOptions options_;
-  std::size_t num_arms_ = 0;
-  std::vector<ArmStat> stats_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

@@ -6,23 +6,22 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/policy_registry.hpp"
 #include "util/math.hpp"
 
 namespace ncb {
 
 SwDflSso::SwDflSso(SwDflSsoOptions options)
-    : options_(options), rng_(options.seed) {
+    : SingleIndexPolicy(options.seed), options_(options) {
   if (options.window <= 0) {
     throw std::invalid_argument("SwDflSso: window must be positive");
   }
 }
 
-void SwDflSso::reset(const Graph& graph) {
-  num_arms_ = graph.num_vertices();
+void SwDflSso::on_reset(const Graph& /*graph*/) {
   samples_.clear();
   counts_.assign(num_arms_, 0);
   sums_.assign(num_arms_, 0.0);
-  rng_ = Xoshiro256(options_.seed);
 }
 
 void SwDflSso::evict_older_than(TimeSlot cutoff) {
@@ -50,29 +49,13 @@ double SwDflSso::index(ArmId i, TimeSlot t) const {
   return window_mean(i) + exploration_width(ratio, count);
 }
 
-ArmId SwDflSso::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("SwDflSso: reset() not called");
+void SwDflSso::before_select(TimeSlot t) {
   evict_older_than(t - options_.window);
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
 }
 
 void SwDflSso::observe(ArmId /*played*/, TimeSlot t,
-                       const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
+                       ObservationSpan observations) {
+  for (const Observation& obs : observations) {
     samples_.push_back({t, obs.arm, obs.value});
     ++counts_[static_cast<std::size_t>(obs.arm)];
     sums_[static_cast<std::size_t>(obs.arm)] += obs.value;
@@ -87,17 +70,15 @@ std::string SwDflSso::name() const {
 }
 
 DiscountedDflSso::DiscountedDflSso(DiscountedDflSsoOptions options)
-    : options_(options), rng_(options.seed) {
+    : SingleIndexPolicy(options.seed), options_(options) {
   if (options.discount <= 0.0 || options.discount > 1.0) {
     throw std::invalid_argument("DiscountedDflSso: discount outside (0,1]");
   }
 }
 
-void DiscountedDflSso::reset(const Graph& graph) {
-  num_arms_ = graph.num_vertices();
+void DiscountedDflSso::on_reset(const Graph& /*graph*/) {
   counts_.assign(num_arms_, 0.0);
   sums_.assign(num_arms_, 0.0);
-  rng_ = Xoshiro256(options_.seed);
 }
 
 double DiscountedDflSso::discounted_mean(ArmId i) const {
@@ -117,35 +98,14 @@ double DiscountedDflSso::index(ArmId i, TimeSlot t) const {
   return discounted_mean(i) + exploration_width(ratio, count);
 }
 
-ArmId DiscountedDflSso::select(TimeSlot t) {
-  if (num_arms_ == 0) {
-    throw std::logic_error("DiscountedDflSso: reset() not called");
-  }
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
-}
-
 void DiscountedDflSso::observe(ArmId /*played*/, TimeSlot /*t*/,
-                               const std::vector<Observation>& observations) {
+                               ObservationSpan observations) {
   // One decay step per slot, then absorb the new samples at full weight.
   for (std::size_t i = 0; i < num_arms_; ++i) {
     counts_[i] *= options_.discount;
     sums_[i] *= options_.discount;
   }
-  for (const auto& obs : observations) {
+  for (const Observation& obs : observations) {
     counts_[static_cast<std::size_t>(obs.arm)] += 1.0;
     sums_[static_cast<std::size_t>(obs.arm)] += obs.value;
   }
@@ -156,5 +116,37 @@ std::string DiscountedDflSso::name() const {
   out << "D-DFL-SSO(g=" << options_.discount << ")";
   return out.str();
 }
+
+namespace {
+
+const PolicyRegistration kRegSwDflSso{{
+    "sw-dfl-sso",
+    "DFL-SSO over a sliding window (non-stationary remedy)",
+    kSsoBit,
+    {{"window", ParamKind::kInt,
+      "slots retained; \"auto\" = horizon/5 (1000 when unknown)", "auto",
+      true}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      const TimeSlot fallback = ctx.horizon > 0 ? ctx.horizon / 5 : 1000;
+      return std::make_unique<SwDflSso>(SwDflSsoOptions{
+          .window = p.get_int("window", fallback), .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegDiscountedDflSso{{
+    "d-dfl-sso",
+    "DFL-SSO with exponential forgetting (non-stationary remedy)",
+    kSsoBit,
+    {{"discount", ParamKind::kDouble, "per-slot decay in (0,1]", "0.999",
+      false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<DiscountedDflSso>(DiscountedDflSsoOptions{
+          .discount = p.get_double("discount", 0.999), .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -17,8 +17,7 @@
 #include <deque>
 #include <vector>
 
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -27,14 +26,11 @@ struct SwDflSsoOptions {
   std::uint64_t seed = 0x5eed5a11;
 };
 
-class SwDflSso final : public SinglePlayPolicy {
+class SwDflSso final : public SingleIndexPolicy {
  public:
   explicit SwDflSso(SwDflSsoOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override;
 
   /// Windowed observation count of arm i.
@@ -43,7 +39,11 @@ class SwDflSso final : public SinglePlayPolicy {
   }
   /// Windowed empirical mean (0 when the window holds no samples).
   [[nodiscard]] double window_mean(ArmId i) const;
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
+
+ protected:
+  void on_reset(const Graph& graph) override;
+  void before_select(TimeSlot t) override;
 
  private:
   void evict_older_than(TimeSlot cutoff);
@@ -55,11 +55,9 @@ class SwDflSso final : public SinglePlayPolicy {
   };
 
   SwDflSsoOptions options_;
-  std::size_t num_arms_ = 0;
   std::deque<Sample> samples_;       // chronological
   std::vector<std::int64_t> counts_;  // per-arm samples inside the window
   std::vector<double> sums_;          // per-arm value sums inside the window
-  Xoshiro256 rng_;
 };
 
 struct DiscountedDflSsoOptions {
@@ -67,14 +65,11 @@ struct DiscountedDflSsoOptions {
   std::uint64_t seed = 0x5eedd15c;
 };
 
-class DiscountedDflSso final : public SinglePlayPolicy {
+class DiscountedDflSso final : public SingleIndexPolicy {
  public:
   explicit DiscountedDflSso(DiscountedDflSsoOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
   [[nodiscard]] std::string name() const override;
 
   /// Discounted observation count (a real number).
@@ -82,14 +77,15 @@ class DiscountedDflSso final : public SinglePlayPolicy {
     return counts_.at(static_cast<std::size_t>(i));
   }
   [[nodiscard]] double discounted_mean(ArmId i) const;
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
+
+ protected:
+  void on_reset(const Graph& graph) override;
 
  private:
   DiscountedDflSsoOptions options_;
-  std::size_t num_arms_ = 0;
   std::vector<double> counts_;
   std::vector<double> sums_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

@@ -6,11 +6,20 @@
 // combinatorial play, or just the played arm(s) for no-side baselines run
 // in a side-observation world (they simply ignore the extras they choose
 // not to consume).
+//
+// Feedback is delivered *batched*: the runner fills one slot-reused
+// ObservationBatch per slot (zero allocations after warm-up) and passes a
+// non-owning ObservationSpan to observe(). The span is only valid for the
+// duration of the observe() call; policies that need the data later must
+// copy it. The played arm's own sample is always included (component arms
+// for combinatorial play).
 #pragma once
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "core/scenario.hpp"
 #include "graph/graph.hpp"
 #include "util/types.hpp"
 
@@ -22,11 +31,99 @@ struct Observation {
   double value = 0.0;
 };
 
-/// Single-play decision maker: picks one arm per slot.
-class SinglePlayPolicy {
+/// Non-owning view over a contiguous run of observations — the unit of
+/// feedback delivery. Implicitly constructible from a vector or a braced
+/// list so test and example call sites stay literal.
+class ObservationSpan {
  public:
-  virtual ~SinglePlayPolicy() = default;
+  using value_type = Observation;
+  using const_iterator = const Observation*;
 
+  constexpr ObservationSpan() noexcept = default;
+  constexpr ObservationSpan(const Observation* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  ObservationSpan(const std::vector<Observation>& observations) noexcept
+      : data_(observations.data()), size_(observations.size()) {}
+  // A braced list's backing array lives until the end of the full
+  // expression, which covers every observe(...) call — the only way spans
+  // are consumed. GCC cannot see that contract, hence the suppression.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  ObservationSpan(std::initializer_list<Observation> observations) noexcept
+      : data_(observations.begin()), size_(observations.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  [[nodiscard]] constexpr const Observation* begin() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] constexpr const Observation* end() const noexcept {
+    return data_ + size_;
+  }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr const Observation& operator[](
+      std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] constexpr const Observation& front() const noexcept {
+    return data_[0];
+  }
+
+ private:
+  const Observation* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Runner-owned slot feedback buffer. The runner reserves capacity once per
+/// run and refills the batch every slot; clear() keeps the capacity, so the
+/// steady-state hot loop performs no allocations.
+class ObservationBatch {
+ public:
+  void reserve(std::size_t capacity) { observations_.reserve(capacity); }
+  void clear() noexcept { observations_.clear(); }
+  void add(ArmId arm, double value) { observations_.push_back({arm, value}); }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return observations_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return observations_.empty(); }
+  [[nodiscard]] const Observation& operator[](std::size_t i) const {
+    return observations_[i];
+  }
+  [[nodiscard]] ObservationSpan span() const noexcept {
+    return {observations_.data(), observations_.size()};
+  }
+  operator ObservationSpan() const noexcept { return span(); }
+
+ private:
+  std::vector<Observation> observations_;
+};
+
+/// Common root of the two action-typed policy interfaces: identity,
+/// human-readable description, and advertised scenario support.
+class PolicyBase {
+ public:
+  virtual ~PolicyBase() = default;
+
+  /// Display name, e.g. "DFL-SSO" or "UCB-MaxN".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One-line description echoing the effective parameter values, e.g.
+  /// "eps-greedy(eps=0.05)". Defaults to name().
+  [[nodiscard]] virtual std::string describe() const { return name(); }
+
+  /// Scenarios this learner is designed for (advisory; the runner does not
+  /// enforce it — baselines are deliberately run outside their home turf).
+  [[nodiscard]] virtual ScenarioMask scenarios() const = 0;
+};
+
+/// Single-play decision maker: picks one arm per slot.
+class SinglePlayPolicy : public PolicyBase {
+ public:
   /// Re-initializes all learning state for a fresh run over `graph`.
   /// Must be called before the first `select`.
   virtual void reset(const Graph& graph) = 0;
@@ -34,32 +131,36 @@ class SinglePlayPolicy {
   /// Chooses the arm for slot `t` (t = 1, 2, ...).
   [[nodiscard]] virtual ArmId select(TimeSlot t) = 0;
 
-  /// Delivers the slot's feedback. `played` is the arm returned by select;
-  /// `observations` holds every revealed (arm, value) pair, always including
-  /// the played arm itself.
+  /// Delivers the slot's feedback in one batched call. `played` is the arm
+  /// returned by select; `observations` views every revealed (arm, value)
+  /// pair, always including the played arm itself, and is only valid during
+  /// the call.
   virtual void observe(ArmId played, TimeSlot t,
-                       const std::vector<Observation>& observations) = 0;
+                       ObservationSpan observations) = 0;
 
-  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] ScenarioMask scenarios() const override {
+    return kSinglePlayScenarios;
+  }
 };
 
 /// Combinatorial-play decision maker: picks one feasible strategy per slot.
 /// The feasible set is fixed at construction by each implementation.
-class CombinatorialPolicy {
+class CombinatorialPolicy : public PolicyBase {
  public:
-  virtual ~CombinatorialPolicy() = default;
-
   /// Re-initializes all learning state for a fresh run.
   virtual void reset() = 0;
 
   /// Chooses the strategy for slot `t` (t = 1, 2, ...).
   [[nodiscard]] virtual StrategyId select(TimeSlot t) = 0;
 
-  /// Delivers arm-level feedback covering the scenario's observed set.
+  /// Delivers arm-level feedback covering the scenario's observed set in one
+  /// batched call; the span is only valid during the call.
   virtual void observe(StrategyId played, TimeSlot t,
-                       const std::vector<Observation>& observations) = 0;
+                       ObservationSpan observations) = 0;
 
-  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] ScenarioMask scenarios() const override {
+    return kCombinatorialScenarios;
+  }
 };
 
 }  // namespace ncb

@@ -1,144 +1,27 @@
 #include "core/policy_factory.hpp"
 
-#include <stdexcept>
-
-#include "core/cucb.hpp"
-#include "core/dfl_cso.hpp"
-#include "core/dfl_csr.hpp"
-#include "core/dfl_sso.hpp"
-#include "core/dfl_ssr.hpp"
-#include "core/epsilon_greedy.hpp"
-#include "core/exp3.hpp"
-#include "core/exp3_set.hpp"
-#include "core/kl_ucb.hpp"
-#include "core/moss.hpp"
-#include "core/nonstationary.hpp"
-#include "core/random_policy.hpp"
-#include "core/thompson.hpp"
-#include "core/ucb1.hpp"
-#include "core/ucb_n.hpp"
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
 std::unique_ptr<SinglePlayPolicy> make_single_play_policy(
-    const std::string& name, TimeSlot horizon, std::uint64_t seed) {
-  if (name == "dfl-sso") {
-    return std::make_unique<DflSso>(DflSsoOptions{.neighbor_greedy = false, .seed = seed});
-  }
-  if (name == "dfl-sso-greedy") {
-    return std::make_unique<DflSso>(DflSsoOptions{.neighbor_greedy = true, .seed = seed});
-  }
-  if (name == "dfl-ssr") {
-    return std::make_unique<DflSsr>(
-        DflSsrOptions{.estimator = SsrEstimator::kPaired, .seed = seed});
-  }
-  if (name == "dfl-ssr-meansum") {
-    return std::make_unique<DflSsr>(
-        DflSsrOptions{.estimator = SsrEstimator::kMeanSum, .seed = seed});
-  }
-  if (name == "moss") {
-    return std::make_unique<Moss>(MossOptions{.horizon = horizon, .seed = seed});
-  }
-  if (name == "moss-anytime") {
-    return std::make_unique<Moss>(MossOptions{.horizon = 0, .seed = seed});
-  }
-  if (name == "ucb1") {
-    return std::make_unique<Ucb1>(Ucb1Options{.exploration = 2.0, .seed = seed});
-  }
-  if (name == "ucb-n") {
-    return std::make_unique<UcbN>(
-        UcbNOptions{.exploration = 2.0, .max_variant = false, .seed = seed});
-  }
-  if (name == "ucb-maxn") {
-    return std::make_unique<UcbN>(
-        UcbNOptions{.exploration = 2.0, .max_variant = true, .seed = seed});
-  }
-  if (name == "eps-greedy") {
-    return std::make_unique<EpsilonGreedy>(EpsilonGreedyOptions{.seed = seed});
-  }
-  if (name == "eps-greedy-side") {
-    EpsilonGreedyOptions opts;
-    opts.use_side_observations = true;
-    opts.seed = seed;
-    return std::make_unique<EpsilonGreedy>(opts);
-  }
-  if (name == "thompson") {
-    return std::make_unique<ThompsonSampling>(ThompsonOptions{.seed = seed});
-  }
-  if (name == "thompson-side") {
-    ThompsonOptions opts;
-    opts.use_side_observations = true;
-    opts.seed = seed;
-    return std::make_unique<ThompsonSampling>(opts);
-  }
-  if (name == "kl-ucb") {
-    return std::make_unique<KlUcb>(KlUcbOptions{.seed = seed});
-  }
-  if (name == "kl-ucb-n") {
-    KlUcbOptions opts;
-    opts.use_side_observations = true;
-    opts.seed = seed;
-    return std::make_unique<KlUcb>(opts);
-  }
-  if (name == "exp3") {
-    return std::make_unique<Exp3>(Exp3Options{.gamma = 0.05, .seed = seed});
-  }
-  if (name == "exp3-set") {
-    return std::make_unique<Exp3Set>(Exp3SetOptions{.eta = 0.05, .seed = seed});
-  }
-  if (name == "sw-dfl-sso") {
-    return std::make_unique<SwDflSso>(
-        SwDflSsoOptions{.window = horizon > 0 ? horizon / 5 : 1000,
-                        .seed = seed});
-  }
-  if (name == "d-dfl-sso") {
-    return std::make_unique<DiscountedDflSso>(
-        DiscountedDflSsoOptions{.discount = 0.999, .seed = seed});
-  }
-  if (name == "random") {
-    return std::make_unique<RandomPolicy>(seed);
-  }
-  throw std::invalid_argument("unknown single-play policy: " + name);
+    const std::string& spec, TimeSlot horizon, std::uint64_t seed) {
+  return PolicyRegistry::instance().make_single_play(spec, horizon, seed);
 }
 
 std::unique_ptr<CombinatorialPolicy> make_combinatorial_policy(
-    const std::string& name, std::shared_ptr<const FeasibleSet> family,
+    const std::string& spec, std::shared_ptr<const FeasibleSet> family,
     std::uint64_t seed) {
-  if (name == "dfl-cso") {
-    return std::make_unique<DflCso>(
-        std::move(family),
-        DflCsoOptions{.scope = CsoUpdateScope::kStrategyGraph, .seed = seed});
-  }
-  if (name == "dfl-cso-observable") {
-    return std::make_unique<DflCso>(
-        std::move(family),
-        DflCsoOptions{.scope = CsoUpdateScope::kAllObservable, .seed = seed});
-  }
-  if (name == "dfl-csr") {
-    return std::make_unique<DflCsr>(std::move(family), nullptr,
-                                    DflCsrOptions{.seed = seed});
-  }
-  if (name == "dfl-csr-greedy") {
-    return std::make_unique<DflCsr>(std::move(family),
-                                    std::make_shared<const GreedyCoverageOracle>(),
-                                    DflCsrOptions{.seed = seed});
-  }
-  if (name == "cucb") {
-    return std::make_unique<Cucb>(std::move(family), CucbOptions{.seed = seed});
-  }
-  throw std::invalid_argument("unknown combinatorial policy: " + name);
+  return PolicyRegistry::instance().make_combinatorial(spec, std::move(family),
+                                                       seed);
 }
 
 std::vector<std::string> single_play_policy_names() {
-  return {"dfl-sso",  "dfl-sso-greedy", "dfl-ssr",   "dfl-ssr-meansum",
-          "moss",     "moss-anytime",   "ucb1",      "ucb-n",
-          "ucb-maxn", "kl-ucb",         "kl-ucb-n",  "eps-greedy",
-          "eps-greedy-side", "thompson", "thompson-side", "exp3",
-          "exp3-set", "sw-dfl-sso",     "d-dfl-sso", "random"};
+  return PolicyRegistry::instance().single_play_names();
 }
 
 std::vector<std::string> combinatorial_policy_names() {
-  return {"dfl-cso", "dfl-cso-observable", "dfl-csr", "dfl-csr-greedy", "cucb"};
+  return PolicyRegistry::instance().combinatorial_names();
 }
 
 }  // namespace ncb

@@ -1,4 +1,8 @@
 // Name-based construction of policies for the bench/example CLI layer.
+//
+// These are thin wrappers over PolicyRegistry (core/policy_registry.hpp),
+// kept for the many existing call sites. They accept full spec strings
+// ("eps-greedy:eps=0.05"), not just bare names.
 #pragma once
 
 #include <memory>
@@ -10,25 +14,22 @@
 
 namespace ncb {
 
-/// Builds a single-play policy by name. Recognized names: "dfl-sso",
-/// "dfl-sso-greedy", "dfl-ssr", "dfl-ssr-meansum", "moss" (fixed horizon),
-/// "moss-anytime", "ucb1", "ucb-n", "ucb-maxn", "kl-ucb", "kl-ucb-n",
-/// "eps-greedy", "eps-greedy-side", "thompson", "thompson-side", "exp3",
-/// "random".
-/// Throws std::invalid_argument on unknown names.
+/// Builds a single-play policy from a registry spec string (see
+/// PolicyRegistry for the grammar and `--list-policies` for the names).
+/// Throws std::invalid_argument on unknown names (with a nearest-name
+/// suggestion) or malformed params.
 [[nodiscard]] std::unique_ptr<SinglePlayPolicy> make_single_play_policy(
-    const std::string& name, TimeSlot horizon, std::uint64_t seed);
+    const std::string& spec, TimeSlot horizon, std::uint64_t seed);
 
-/// Builds a combinatorial policy by name: "dfl-cso", "dfl-cso-observable",
-/// "dfl-csr", "dfl-csr-greedy", "cucb".
+/// Builds a combinatorial policy from a registry spec string.
 [[nodiscard]] std::unique_ptr<CombinatorialPolicy> make_combinatorial_policy(
-    const std::string& name, std::shared_ptr<const FeasibleSet> family,
+    const std::string& spec, std::shared_ptr<const FeasibleSet> family,
     std::uint64_t seed);
 
-/// All recognized single-play policy names.
+/// All registered single-play policy names, sorted.
 [[nodiscard]] std::vector<std::string> single_play_policy_names();
 
-/// All recognized combinatorial policy names.
+/// All registered combinatorial policy names, sorted.
 [[nodiscard]] std::vector<std::string> combinatorial_policy_names();
 
 }  // namespace ncb

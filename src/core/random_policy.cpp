@@ -1,0 +1,20 @@
+#include "core/random_policy.hpp"
+
+#include "core/policy_registry.hpp"
+
+namespace ncb {
+namespace {
+
+const PolicyRegistration kRegRandom{{
+    "random",
+    "uniform-random arm selection; the regret floor",
+    kSsoBit | kSsrBit,
+    {},
+    [](const PolicyParams&, const PolicyBuildContext& ctx) {
+      return std::make_unique<RandomPolicy>(ctx.seed);
+    },
+    nullptr,
+}};
+
+}  // namespace
+}  // namespace ncb

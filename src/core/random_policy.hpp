@@ -19,7 +19,7 @@ class RandomPolicy final : public SinglePlayPolicy {
     return static_cast<ArmId>(rng_.uniform_int(num_arms_));
   }
 
-  void observe(ArmId, TimeSlot, const std::vector<Observation>&) override {}
+  void observe(ArmId, TimeSlot, ObservationSpan) override {}
 
   [[nodiscard]] std::string name() const override { return "Random"; }
 

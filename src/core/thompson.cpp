@@ -1,7 +1,10 @@
 #include "core/thompson.hpp"
 
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
@@ -36,8 +39,10 @@ ArmId ThompsonSampling::select(TimeSlot /*t*/) {
 }
 
 void ThompsonSampling::observe(ArmId played, TimeSlot /*t*/,
-                               const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
+                               ObservationSpan observations) {
+  // Batched pass over the span: every consumed sample flips one posterior
+  // pseudo-count coin, side observations included when opted in.
+  for (const Observation& obs : observations) {
     if (!options_.use_side_observations && obs.arm != played) continue;
     const auto i = static_cast<std::size_t>(obs.arm);
     // Binarize [0,1] rewards into posterior pseudo-counts.
@@ -57,5 +62,52 @@ double ThompsonSampling::posterior_mean(ArmId i) const {
 std::string ThompsonSampling::name() const {
   return options_.use_side_observations ? "Thompson+side" : "Thompson";
 }
+
+std::string ThompsonSampling::describe() const {
+  std::ostringstream out;
+  out << name() << "(alpha=" << options_.prior_alpha
+      << ",beta=" << options_.prior_beta << ")";
+  return out.str();
+}
+
+namespace {
+
+const std::vector<ParamSpec> kThompsonParams{
+    {"alpha", ParamKind::kDouble, "Beta prior alpha", "1.0", false},
+    {"beta", ParamKind::kDouble, "Beta prior beta", "1.0", false}};
+
+ThompsonOptions thompson_options(const PolicyParams& p,
+                                 const PolicyBuildContext& ctx, bool side) {
+  ThompsonOptions opts;
+  opts.prior_alpha = p.get_double("alpha", opts.prior_alpha);
+  opts.prior_beta = p.get_double("beta", opts.prior_beta);
+  opts.use_side_observations = side;
+  opts.seed = ctx.seed;
+  return opts;
+}
+
+const PolicyRegistration kRegThompson{{
+    "thompson",
+    "Thompson sampling with Beta-Bernoulli posteriors",
+    kSsoBit | kSsrBit,
+    kThompsonParams,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<ThompsonSampling>(thompson_options(p, ctx, false));
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegThompsonSide{{
+    "thompson-side",
+    "Thompson sampling consuming side observations",
+    kSsoBit,
+    kThompsonParams,
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<ThompsonSampling>(thompson_options(p, ctx, true));
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

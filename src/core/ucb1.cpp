@@ -2,17 +2,15 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
-Ucb1::Ucb1(Ucb1Options options) : options_(options), rng_(options.seed) {}
-
-void Ucb1::reset(const Graph& graph) {
-  num_arms_ = graph.num_vertices();
-  reset_stats(stats_, num_arms_);
-  rng_ = Xoshiro256(options_.seed);
-}
+Ucb1::Ucb1(Ucb1Options options)
+    : ArmStatIndexPolicy(options.seed), options_(options) {}
 
 double Ucb1::index(ArmId i, TimeSlot t) const {
   const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
@@ -23,28 +21,9 @@ double Ucb1::index(ArmId i, TimeSlot t) const {
   return s.mean + bonus;
 }
 
-ArmId Ucb1::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("Ucb1: reset() not called");
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
-}
-
 void Ucb1::observe(ArmId played, TimeSlot /*t*/,
-                   const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
+                   ObservationSpan observations) {
+  for (const Observation& obs : observations) {
     if (obs.arm == played) {
       stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
       return;
@@ -52,5 +31,27 @@ void Ucb1::observe(ArmId played, TimeSlot /*t*/,
   }
   throw std::logic_error("Ucb1: played arm missing from observations");
 }
+
+std::string Ucb1::describe() const {
+  std::ostringstream out;
+  out << name() << "(c=" << options_.exploration << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegUcb1{{
+    "ucb1",
+    "classical UCB1; distribution-dependent, no side information",
+    kSsoBit | kSsrBit,
+    {{"c", ParamKind::kDouble, "exploration scale", "2.0", false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<Ucb1>(Ucb1Options{
+          .exploration = p.get_double("c", 2.0), .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -3,11 +3,7 @@
 // information.
 #pragma once
 
-#include <vector>
-
-#include "core/arm_stats.hpp"
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -17,26 +13,22 @@ struct Ucb1Options {
   std::uint64_t seed = 0x5eed0cb1;
 };
 
-class Ucb1 final : public SinglePlayPolicy {
+class Ucb1 final : public ArmStatIndexPolicy {
  public:
   explicit Ucb1(Ucb1Options options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  /// Played-only update: UCB1 ignores side observations.
+  void observe(ArmId played, TimeSlot t, ObservationSpan observations) override;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
   [[nodiscard]] std::string name() const override { return "UCB1"; }
+  [[nodiscard]] std::string describe() const override;
 
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
   [[nodiscard]] std::int64_t play_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
+    return observation_count(i);
   }
 
  private:
   Ucb1Options options_;
-  std::size_t num_arms_ = 0;
-  std::vector<ArmStat> stats_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

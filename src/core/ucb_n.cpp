@@ -2,17 +2,18 @@
 
 #include <cmath>
 #include <limits>
-#include <stdexcept>
+#include <sstream>
+
+#include "core/policy_registry.hpp"
 
 namespace ncb {
 
-UcbN::UcbN(UcbNOptions options) : options_(options), rng_(options.seed) {}
+UcbN::UcbN(UcbNOptions options)
+    : ArmStatIndexPolicy(options.seed), options_(options) {}
 
-void UcbN::reset(const Graph& graph) {
+void UcbN::on_reset(const Graph& graph) {
   graph_ = graph;
-  num_arms_ = graph.num_vertices();
-  reset_stats(stats_, num_arms_);
-  rng_ = Xoshiro256(options_.seed);
+  ArmStatIndexPolicy::on_reset(graph);
 }
 
 double UcbN::index(ArmId i, TimeSlot t) const {
@@ -24,45 +25,52 @@ double UcbN::index(ArmId i, TimeSlot t) const {
   return s.mean + bonus;
 }
 
-ArmId UcbN::select(TimeSlot t) {
-  if (num_arms_ == 0) throw std::logic_error("UcbN: reset() not called");
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
+ArmId UcbN::refine_selection(ArmId best) {
   if (!options_.max_variant) return best;
   // UCB-MaxN: play the best empirical arm among N_{best}.
-  ArmId play = best;
-  double play_mean = stats_[static_cast<std::size_t>(best)].mean;
-  for (const ArmId j : graph_.closed_neighborhood(best)) {
-    const ArmStat& s = stats_[static_cast<std::size_t>(j)];
-    if (s.count > 0 && s.mean > play_mean) {
-      play = j;
-      play_mean = s.mean;
-    }
-  }
-  return play;
-}
-
-void UcbN::observe(ArmId /*played*/, TimeSlot /*t*/,
-                   const std::vector<Observation>& observations) {
-  for (const auto& obs : observations) {
-    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
-  }
+  return best_empirical_in_neighborhood(graph_, best);
 }
 
 std::string UcbN::name() const {
   return options_.max_variant ? "UCB-MaxN" : "UCB-N";
 }
+
+std::string UcbN::describe() const {
+  std::ostringstream out;
+  out << name() << "(c=" << options_.exploration << ")";
+  return out.str();
+}
+
+namespace {
+
+const PolicyRegistration kRegUcbN{{
+    "ucb-n",
+    "UCB1 index over observation counts (side observations included)",
+    kSsoBit,
+    {{"c", ParamKind::kDouble, "exploration scale", "2.0", false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<UcbN>(UcbNOptions{
+          .exploration = p.get_double("c", 2.0),
+          .max_variant = false,
+          .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+const PolicyRegistration kRegUcbMaxN{{
+    "ucb-maxn",
+    "UCB-N that plays the best empirical arm in the chosen neighborhood",
+    kSsoBit,
+    {{"c", ParamKind::kDouble, "exploration scale", "2.0", false}},
+    [](const PolicyParams& p, const PolicyBuildContext& ctx) {
+      return std::make_unique<UcbN>(UcbNOptions{
+          .exploration = p.get_double("c", 2.0),
+          .max_variant = true,
+          .seed = ctx.seed});
+    },
+    nullptr,
+}};
+
+}  // namespace
 
 }  // namespace ncb

@@ -6,11 +6,7 @@
 // (they degrade as Δ_min → 0), which is the gap DFL-SSO closes.
 #pragma once
 
-#include <vector>
-
-#include "core/arm_stats.hpp"
-#include "core/policy.hpp"
-#include "util/rng.hpp"
+#include "core/index_policy.hpp"
 
 namespace ncb {
 
@@ -22,27 +18,21 @@ struct UcbNOptions {
   std::uint64_t seed = 0x5eed0cbe;
 };
 
-class UcbN final : public SinglePlayPolicy {
+class UcbN final : public ArmStatIndexPolicy {
  public:
   explicit UcbN(UcbNOptions options = {});
 
-  void reset(const Graph& graph) override;
-  [[nodiscard]] ArmId select(TimeSlot t) override;
-  void observe(ArmId played, TimeSlot t,
-               const std::vector<Observation>& observations) override;
+  [[nodiscard]] double index(ArmId i, TimeSlot t) const override;
   [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
 
-  [[nodiscard]] double index(ArmId i, TimeSlot t) const;
-  [[nodiscard]] std::int64_t observation_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
-  }
+ protected:
+  void on_reset(const Graph& graph) override;
+  [[nodiscard]] ArmId refine_selection(ArmId best) override;
 
  private:
   UcbNOptions options_;
   Graph graph_{0};  // copied at reset(); no external lifetime requirement
-  std::size_t num_arms_ = 0;
-  std::vector<ArmStat> stats_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace ncb

@@ -19,6 +19,21 @@ inline bool drop_observation(const RunnerOptions& options, Xoshiro256& rng,
 
 }  // namespace
 
+void validate_runner_options(const RunnerOptions& options) {
+  if (options.horizon <= 0) {
+    throw std::invalid_argument(
+        "RunnerOptions.horizon: must be positive (got " +
+        std::to_string(options.horizon) + ")");
+  }
+  // The negated comparison also rejects NaN.
+  if (!(options.observation_drop_prob >= 0.0 &&
+        options.observation_drop_prob <= 1.0)) {
+    throw std::invalid_argument(
+        "RunnerOptions.observation_drop_prob: must be within [0, 1] (got " +
+        std::to_string(options.observation_drop_prob) + ")");
+  }
+}
+
 double optimal_value(const BanditInstance& instance, Scenario scenario,
                      const FeasibleSet* family) {
   switch (scenario) {
@@ -69,9 +84,7 @@ RunResult run_single_play(SinglePlayPolicy& policy, Environment& env,
   if (is_combinatorial(scenario)) {
     throw std::invalid_argument("run_single_play: single-play scenario required");
   }
-  if (options.horizon <= 0) {
-    throw std::invalid_argument("run_single_play: horizon must be positive");
-  }
+  validate_runner_options(options);
   const BanditInstance& instance = env.instance();
   const Graph& graph = instance.graph();
   const std::size_t k = instance.num_arms();
@@ -87,7 +100,10 @@ RunResult run_single_play(SinglePlayPolicy& policy, Environment& env,
   }
 
   policy.reset(graph);
-  std::vector<Observation> observations;
+  // Slot-reused feedback buffer: reserved once, refilled in place every
+  // slot, delivered as one batched span — the hot loop never allocates.
+  ObservationBatch batch;
+  batch.reserve(k);
   Xoshiro256 drop_rng(options.drop_seed);
   double cumulative = 0.0;
 
@@ -101,11 +117,11 @@ RunResult run_single_play(SinglePlayPolicy& policy, Environment& env,
     // Side observation scope: the closed neighborhood of the played arm.
     // Under SSR the whole neighborhood payout is received, so nothing can
     // be dropped; under SSO only the played arm's sample is guaranteed.
-    observations.clear();
+    batch.clear();
     for (const ArmId j : graph.closed_neighborhood(played)) {
       const bool keep_always = j == played || scenario == Scenario::kSsr;
       if (drop_observation(options, drop_rng, keep_always)) continue;
-      observations.push_back({j, rewards[static_cast<std::size_t>(j)]});
+      batch.add(j, rewards[static_cast<std::size_t>(j)]);
     }
 
     const double realized =
@@ -116,7 +132,7 @@ RunResult run_single_play(SinglePlayPolicy& policy, Environment& env,
             ? instance.means()[static_cast<std::size_t>(played)]
             : instance.side_reward_means()[static_cast<std::size_t>(played)];
 
-    policy.observe(played, t, observations);
+    policy.observe(played, t, batch.span());
 
     result.total_reward += realized;
     ++result.play_counts[static_cast<std::size_t>(played)];
@@ -141,9 +157,7 @@ RunResult run_combinatorial(CombinatorialPolicy& policy,
   if (!is_combinatorial(scenario)) {
     throw std::invalid_argument("run_combinatorial: combinatorial scenario required");
   }
-  if (options.horizon <= 0) {
-    throw std::invalid_argument("run_combinatorial: horizon must be positive");
-  }
+  validate_runner_options(options);
   const BanditInstance& instance = env.instance();
   const std::size_t k = instance.num_arms();
   if (family.graph().num_vertices() != k) {
@@ -161,7 +175,9 @@ RunResult run_combinatorial(CombinatorialPolicy& policy,
   }
 
   policy.reset();
-  std::vector<Observation> observations;
+  // Slot-reused feedback buffer (see run_single_play).
+  ObservationBatch batch;
+  batch.reserve(k);
   Xoshiro256 drop_rng(options.drop_seed);
   double cumulative = 0.0;
 
@@ -176,13 +192,13 @@ RunResult run_combinatorial(CombinatorialPolicy& policy,
     // Observation scope: Y_x, the union of closed neighborhoods. Component
     // arms always report (their rewards are received); under CSR the whole
     // of Y_x is part of the payout, so nothing can be dropped.
-    observations.clear();
+    batch.clear();
     for (const ArmId j : family.neighborhood(played)) {
       const bool keep_always =
           scenario == Scenario::kCsr ||
           family.strategy_bits(played).test(static_cast<std::size_t>(j));
       if (drop_observation(options, drop_rng, keep_always)) continue;
-      observations.push_back({j, rewards[static_cast<std::size_t>(j)]});
+      batch.add(j, rewards[static_cast<std::size_t>(j)]);
     }
 
     double realized = 0.0;
@@ -195,7 +211,7 @@ RunResult run_combinatorial(CombinatorialPolicy& policy,
       chosen_mean = instance.strategy_side_reward_mean(arms);
     }
 
-    policy.observe(played, t, observations);
+    policy.observe(played, t, batch.span());
 
     result.total_reward += realized;
     for (const ArmId i : arms) ++result.play_counts[static_cast<std::size_t>(i)];

@@ -56,6 +56,11 @@ struct RunnerOptions {
   std::uint64_t drop_seed = 0xd20bd20b;
 };
 
+/// Validates `options` at run entry. Throws std::invalid_argument naming
+/// the offending field ("RunnerOptions.horizon: ...") when the horizon is
+/// not positive or observation_drop_prob lies outside [0, 1].
+void validate_runner_options(const RunnerOptions& options);
+
 /// Runs a single-play scenario (kSso or kSsr). The policy is reset first.
 [[nodiscard]] RunResult run_single_play(SinglePlayPolicy& policy,
                                         Environment& env, Scenario scenario,

@@ -1,33 +1,8 @@
 // Scenario tags for the four cases of §II.
+//
+// The definitions moved to core/scenario.hpp so the policy layer can name
+// scenarios without depending on sim/; this header remains for the existing
+// include sites.
 #pragma once
 
-#include <string>
-
-namespace ncb {
-
-enum class Scenario {
-  kSso,  ///< Single-play, side observation (Eq. 1 regret).
-  kCso,  ///< Combinatorial-play, side observation (Eq. 2).
-  kSsr,  ///< Single-play, side reward (Eq. 3).
-  kCsr,  ///< Combinatorial-play, side reward (Eq. 4).
-};
-
-[[nodiscard]] inline std::string scenario_name(Scenario s) {
-  switch (s) {
-    case Scenario::kSso: return "SSO";
-    case Scenario::kCso: return "CSO";
-    case Scenario::kSsr: return "SSR";
-    case Scenario::kCsr: return "CSR";
-  }
-  return "?";
-}
-
-[[nodiscard]] inline bool is_combinatorial(Scenario s) {
-  return s == Scenario::kCso || s == Scenario::kCsr;
-}
-
-[[nodiscard]] inline bool is_side_reward(Scenario s) {
-  return s == Scenario::kSsr || s == Scenario::kCsr;
-}
-
-}  // namespace ncb
+#include "core/scenario.hpp"

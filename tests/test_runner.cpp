@@ -60,6 +60,58 @@ TEST(RunSinglePlay, NonPositiveHorizonThrows) {
                std::invalid_argument);
 }
 
+TEST(RunnerOptionsValidation, NamesTheOffendingField) {
+  RunnerOptions opts;
+  EXPECT_NO_THROW(validate_runner_options(opts));
+
+  opts.horizon = -3;
+  try {
+    validate_runner_options(opts);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("RunnerOptions.horizon"),
+              std::string::npos)
+        << e.what();
+  }
+
+  opts.horizon = 100;
+  for (const double bad : {-0.1, 1.5}) {
+    opts.observation_drop_prob = bad;
+    try {
+      validate_runner_options(opts);
+      FAIL() << "expected invalid_argument for drop prob " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(
+          std::string(e.what()).find("RunnerOptions.observation_drop_prob"),
+          std::string::npos)
+          << e.what();
+    }
+  }
+  // The boundary values are legal.
+  for (const double ok : {0.0, 1.0}) {
+    opts.observation_drop_prob = ok;
+    EXPECT_NO_THROW(validate_runner_options(opts));
+  }
+}
+
+TEST(RunnerOptionsValidation, RunnersRejectBadDropProbability) {
+  const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
+  Environment env(inst, 1);
+  RandomPolicy policy(3);
+  RunnerOptions opts;
+  opts.observation_drop_prob = 1.5;
+  EXPECT_THROW((void)run_single_play(policy, env, Scenario::kSso, opts),
+               std::invalid_argument);
+
+  const auto family = std::make_shared<const FeasibleSet>(make_subset_family(
+      std::make_shared<const Graph>(inst.graph()), 2));
+  DflCso combo(family);
+  Environment env2(inst, 1);
+  EXPECT_THROW(
+      (void)run_combinatorial(combo, *family, env2, Scenario::kCso, opts),
+      std::invalid_argument);
+}
+
 TEST(RunSinglePlay, DeterministicRegretWithConstantArms) {
   // Two disconnected arms, 0.9 vs 0.4: every slot playing arm 1 costs 0.5.
   const auto inst = constant_instance(empty_graph(2), {0.9, 0.4});
