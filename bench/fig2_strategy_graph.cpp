@@ -22,7 +22,7 @@ int main() {
             << graph->to_string();
   for (ArmId i = 0; i < 4; ++i) {
     std::cout << "N_" << i << " = {";
-    const auto& closed = graph->closed_neighborhood(i);
+    const ArmSpan closed = graph->closed_neighborhood(i);
     for (std::size_t j = 0; j < closed.size(); ++j) {
       if (j) std::cout << ',';
       std::cout << closed[j];

@@ -123,6 +123,17 @@ void BM_ErdosRenyi(benchmark::State& state) {
   }
 }
 
+// The deduplicating edge-list constructor (graph I/O path), as opposed to
+// the generators' from_unique_edges fast path measured by BM_ErdosRenyi.
+void BM_GraphFromEdgeList(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::vector<Edge> edges = bench_graph(k, 0.3).edges();
+  for (auto _ : state) {
+    const Graph g(k, edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+
 void BM_GreedyCliqueCover(benchmark::State& state) {
   const Graph g = bench_graph(static_cast<std::size_t>(state.range(0)), 0.3);
   for (auto _ : state) {
@@ -195,6 +206,7 @@ BENCHMARK_CAPTURE(BM_ObservePerSlotBatched, exp3_set, "exp3-set");
 BENCHMARK_CAPTURE(BM_ObservePerSlotPerEdge, exp3_set, "exp3-set");
 
 BENCHMARK(BM_ErdosRenyi)->Arg(100)->Arg(400);
+BENCHMARK(BM_GraphFromEdgeList)->Arg(100)->Arg(400);
 BENCHMARK(BM_GreedyCliqueCover)->Arg(100)->Arg(400);
 BENCHMARK(BM_StrategyGraphBuild)->Arg(12)->Arg(20);
 BENCHMARK(BM_ExactCoverageOracle)->Arg(12)->Arg(20);

@@ -1,16 +1,40 @@
-// Scaling: DFL-SSO regret and wall time vs K at fixed horizon. Theorem 1
-// predicts R_n = O(sqrt(nK)); the table reports measured regret alongside
-// sqrt(K)-normalized regret (flat if the scaling holds) and the per-run
-// wall time (per-step cost is O(K + deg)).
+// Scaling vs K — two modes.
+//
+// Default (Google Benchmark, when built with it): microbenchmarks of the
+// relation-graph hot paths at large K, the workloads the CSR layout exists
+// for. `--benchmark_format=json` output seeds BENCH_graph.json via
+// `./ci.sh bench`. Benchmarks take (K, p_permille) argument pairs; the
+// tracked points are the dense K = 400, p = 0.6 graph (the ISSUE/ROADMAP
+// perf target) and the K = 10^4 sparse stress graph.
+//
+//   GraphConstructER        — generator + CSR build, O(E) fast path
+//   ClosedNeighborhoodSweep — the runner's per-slot closed-row walk, all K rows
+//   StrategyNeighborhoodUnion — Y_x bitset-row ORs over CSR rows
+//   DflSsoSlot              — one full policy slot (select + batched observe)
+//
+// `--table` (always available): the legacy regret-vs-K CSV sweep, DFL-SSO
+// at fixed horizon over ER p = 0.3. Theorem 1 predicts R_n = O(sqrt(nK));
+// the sqrt(K)-normalized column stays flat if the scaling holds.
 #include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/policy_factory.hpp"
+#include "graph/generators.hpp"
 #include "sim/thread_pool.hpp"
+#include "util/rng.hpp"
 
-int main(int argc, char** argv) {
-  using namespace ncb;
-  using namespace ncb::bench;
+#ifdef NCB_HAVE_BENCHMARK
+#include <benchmark/benchmark.h>
+#endif
+
+namespace {
+
+using namespace ncb;
+using namespace ncb::bench;
+
+int run_table_mode(int argc, char** argv) {
   CommonFlags flags = parse_common(argc, argv);
   if (!flags.quick && flags.horizon > 5000) {
     std::cout << "(note: --horizon capped at 5000 for this sweep)\n";
@@ -45,4 +69,129 @@ int main(int argc, char** argv) {
                "holds; it typically *decreases* because denser absolute "
                "neighborhoods mean more free observations per pull)\n";
   return 0;
+}
+
+#ifdef NCB_HAVE_BENCHMARK
+
+Graph stress_graph(std::size_t k, double p) {
+  Xoshiro256 rng(42);
+  return erdos_renyi(k, p, rng);
+}
+
+double permille(const benchmark::State& state) {
+  return static_cast<double>(state.range(1)) / 1000.0;
+}
+
+/// ER generation + full CSR build (offsets, flat neighbor/closed arrays,
+/// bitset rows). The generator takes the no-dedup fast path.
+void BM_GraphConstructER(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const double p = permille(state);
+  Xoshiro256 rng(42);
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const Graph g = erdos_renyi(k, p, rng);
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+/// The runner's inner loop shape: walk every vertex's closed neighborhood
+/// (one contiguous CSR row each) and touch every entry.
+void BM_ClosedNeighborhoodSweep(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph g = stress_graph(k, permille(state));
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (const ArmId j : g.closed_neighborhood(static_cast<ArmId>(i))) {
+        acc += j;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * g.num_edges() + k));
+}
+
+/// Y_x construction: closed-row bitset ORs over the flat word array.
+void BM_StrategyNeighborhoodUnion(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph g = stress_graph(k, permille(state));
+  Xoshiro256 rng(7);
+  ArmSet strategy;
+  for (int i = 0; i < 8; ++i) {
+    strategy.push_back(static_cast<ArmId>(rng.uniform_int(k)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.strategy_neighborhood(strategy).count());
+  }
+}
+
+/// One full DFL-SSO slot: select (O(K) index scan) + the batched
+/// closed-neighborhood observe the runner performs. The K = 10^4 point is
+/// the ISSUE's "construction + one policy step completes" stress criterion.
+void BM_DflSsoSlot(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const Graph g = stress_graph(k, permille(state));
+  const auto policy = make_single_play_policy("dfl-sso", 1 << 20, 7);
+  policy->reset(g);
+  Xoshiro256 rng(9);
+  ObservationBatch batch;
+  batch.reserve(k);
+  TimeSlot t = 0;
+  for (auto _ : state) {
+    ++t;
+    const ArmId a = policy->select(t);
+    batch.clear();
+    for (const ArmId j : g.closed_neighborhood(a)) batch.add(j, rng.uniform());
+    policy->observe(a, t, batch.span());
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Tracked points: dense K=400 p=0.6 (the ROADMAP target), mid-size K=1000
+// p=0.1, and the K=10^4 sparse stress graph (p=0.002, ~100k edges).
+BENCHMARK(BM_GraphConstructER)
+    ->Args({400, 600})
+    ->Args({1000, 100})
+    ->Args({10000, 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClosedNeighborhoodSweep)
+    ->Args({400, 600})
+    ->Args({1000, 100})
+    ->Args({10000, 2})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StrategyNeighborhoodUnion)
+    ->Args({400, 600})
+    ->Args({10000, 2});
+BENCHMARK(BM_DflSsoSlot)
+    ->Args({400, 600})
+    ->Args({10000, 2})
+    ->Unit(benchmark::kMicrosecond);
+
+#endif  // NCB_HAVE_BENCHMARK
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--table") == 0) {
+      // Strip --table and hand the rest to the legacy CSV sweep.
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      return run_table_mode(argc - 1, argv);
+    }
+  }
+#ifdef NCB_HAVE_BENCHMARK
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  // Without Google Benchmark only the regret table is available.
+  return run_table_mode(argc, argv);
+#endif
 }

@@ -1,29 +1,98 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 verify command (ROADMAP.md) plus the sanitizer pass.
+# CI gate: the tier-1 verify command (ROADMAP.md) plus the sanitizer pass,
+# with per-stage timing and a one-line recap so CI logs are skimmable.
+#
 # Usage: ./ci.sh            — -Werror Release build, full ctest, observe-path
 #                             smoke, then ASan/UBSan ctest.
-#        NCB_CI_JOBS=N ./ci.sh — override parallelism.
+#        ./ci.sh bench      — -Werror Release build, then the tracked
+#                             benchmark suites (micro_policies + scaling_k)
+#                             in Google Benchmark JSON mode, merged into
+#                             BENCH_graph.json at the repo root.
+#        NCB_CI_JOBS=N ./ci.sh          — override parallelism.
+#        NCB_BENCH_MIN_TIME=0.5 ./ci.sh bench — slower, steadier timings.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${NCB_CI_JOBS:-$(nproc)}"
+RECAP=()
 
-echo "== tier-1: -Werror Release build + full test suite =="
-cmake -B build -S . -DNCB_WERROR=ON
-cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+# stage <short-label> <heading> <fn...>: run, time, and record for the recap.
+stage() {
+  local label="$1" heading="$2" t0 dt
+  shift 2
+  echo "== ${heading} =="
+  t0=$(date +%s)
+  "$@"
+  dt=$(( $(date +%s) - t0 ))
+  RECAP+=("${label} OK (${dt}s)")
+}
 
-if [ -x build/bench/micro_policies ]; then
-  echo "== observe-path smoke: batched vs per-edge delivery must run =="
-  ./build/bench/micro_policies --benchmark_filter='ObservePerSlot' \
-      --benchmark_min_time=0.01
+release_build() {
+  cmake -B build -S . -DNCB_WERROR=ON
+  cmake --build build -j "$JOBS"
+}
+
+tier1() {
+  release_build
+  (cd build && ctest --output-on-failure -j "$JOBS")
+}
+
+smoke() {
+  if [ -x build/bench/micro_policies ]; then
+    ./build/bench/micro_policies --benchmark_filter='ObservePerSlot' \
+        --benchmark_min_time=0.01
+  else
+    echo "micro_policies not built (Google Benchmark absent) — smoke skipped"
+  fi
+}
+
+asan() {
+  cmake -B build-asan -S . -DNCB_SANITIZE=ON -DNCB_BUILD_BENCH=OFF \
+        -DNCB_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j "$JOBS"
+  (cd build-asan && ctest --output-on-failure -j "$JOBS")
+}
+
+# Tracked benchmarks: micro_policies (policy/substrate hot paths) and
+# scaling_k (relation-graph large-K hot paths), merged into one JSON file
+# that seeds the perf trajectory. Keep BENCH_graph.json committed so every
+# PR's numbers land in history.
+bench_tracked() {
+  if [ ! -x build/bench/micro_policies ] || [ ! -x build/bench/scaling_k ]; then
+    echo "error: Google Benchmark binaries missing — cannot run tracked benches" >&2
+    exit 1
+  fi
+  local min_time="${NCB_BENCH_MIN_TIME:-0.05}"
+  ./build/bench/micro_policies --benchmark_out=build/bench_micro.json \
+      --benchmark_out_format=json --benchmark_min_time="$min_time"
+  ./build/bench/scaling_k --benchmark_out=build/bench_scaling.json \
+      --benchmark_out_format=json --benchmark_min_time="$min_time"
+  python3 - <<'PY'
+import json
+
+merged = {"schema": 1, "benches": {}}
+for name, path in (("micro_policies", "build/bench_micro.json"),
+                   ("scaling_k", "build/bench_scaling.json")):
+    with open(path) as f:
+        merged["benches"][name] = json.load(f)
+with open("BENCH_graph.json", "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+print("wrote BENCH_graph.json")
+PY
+}
+
+if [ "${1:-}" = "bench" ]; then
+  stage "build" "-Werror Release build" release_build
+  stage "bench" "tracked benches: micro_policies + scaling_k -> BENCH_graph.json" \
+        bench_tracked
 else
-  echo "== micro_policies not built (Google Benchmark absent) — smoke skipped =="
+  stage "tier-1" "tier-1: -Werror Release build + full test suite" tier1
+  stage "smoke" "observe-path smoke: batched vs per-edge delivery must run" smoke
+  stage "asan" "sanitizers: ASan/UBSan build + test suite" asan
 fi
 
-echo "== sanitizers: ASan/UBSan build + test suite =="
-cmake -B build-asan -S . -DNCB_SANITIZE=ON -DNCB_BUILD_BENCH=OFF -DNCB_BUILD_EXAMPLES=OFF
-cmake --build build-asan -j "$JOBS"
-(cd build-asan && ctest --output-on-failure -j "$JOBS")
-
 echo "== CI green =="
+recap_line=""
+for r in "${RECAP[@]}"; do recap_line+="${recap_line:+ · }${r}"; done
+echo "${recap_line}"

@@ -17,9 +17,9 @@ DflCso::DflCso(std::shared_ptr<const FeasibleSet> family, DflCsoOptions options)
   if (options_.scope == CsoUpdateScope::kStrategyGraph) {
     const Graph sg = build_strategy_graph(*family_);
     for (StrategyId x = 0; x < count; ++x) {
+      const ArmSpan closed = sg.closed_neighborhood(x);
       update_lists_[static_cast<std::size_t>(x)] =
-          std::vector<StrategyId>(sg.closed_neighborhood(x).begin(),
-                                  sg.closed_neighborhood(x).end());
+          std::vector<StrategyId>(closed.begin(), closed.end());
     }
   } else {
     for (StrategyId x = 0; x < count; ++x) {

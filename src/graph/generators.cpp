@@ -16,7 +16,7 @@ Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng) {
       }
     }
   }
-  return Graph(n, edges);
+  return Graph::from_unique_edges(n, edges);
 }
 
 Graph complete_graph(std::size_t n) {
@@ -27,7 +27,7 @@ Graph complete_graph(std::size_t n) {
       edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
     }
   }
-  return Graph(n, edges);
+  return Graph::from_unique_edges(n, edges);
 }
 
 Graph empty_graph(std::size_t n) { return Graph(n); }
@@ -38,7 +38,7 @@ Graph star_graph(std::size_t n) {
   for (std::size_t i = 1; i < n; ++i) {
     edges.emplace_back(0, static_cast<ArmId>(i));
   }
-  return Graph(n, edges);
+  return Graph::from_unique_edges(n, edges);
 }
 
 Graph path_graph(std::size_t n) {
@@ -46,7 +46,7 @@ Graph path_graph(std::size_t n) {
   for (std::size_t i = 0; i + 1 < n; ++i) {
     edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(i + 1));
   }
-  return Graph(n, edges);
+  return Graph::from_unique_edges(n, edges);
 }
 
 Graph cycle_graph(std::size_t n) {
@@ -55,7 +55,7 @@ Graph cycle_graph(std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>((i + 1) % n));
   }
-  return Graph(n, edges);
+  return Graph::from_unique_edges(n, edges);
 }
 
 Graph grid_graph(std::size_t rows, std::size_t cols) {
@@ -69,7 +69,7 @@ Graph grid_graph(std::size_t rows, std::size_t cols) {
       if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
     }
   }
-  return Graph(rows * cols, edges);
+  return Graph::from_unique_edges(rows * cols, edges);
 }
 
 Graph disjoint_cliques(std::size_t num_cliques, std::size_t clique_size) {
@@ -83,7 +83,7 @@ Graph disjoint_cliques(std::size_t num_cliques, std::size_t clique_size) {
       }
     }
   }
-  return Graph(num_cliques * clique_size, edges);
+  return Graph::from_unique_edges(num_cliques * clique_size, edges);
 }
 
 Graph barabasi_albert(std::size_t n, std::size_t attach_edges,
@@ -120,7 +120,7 @@ Graph barabasi_albert(std::size_t n, std::size_t attach_edges,
       targets.push_back(t);
     }
   }
-  return Graph(n, edges);
+  return Graph::from_unique_edges(n, edges);
 }
 
 Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
@@ -157,7 +157,8 @@ Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
       }
     }
   }
-  return Graph(n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
+  return Graph::from_unique_edges(
+      n, std::vector<Edge>(edge_set.begin(), edge_set.end()));
 }
 
 }  // namespace ncb

@@ -3,6 +3,10 @@
 // The paper's simulations use "uniformly and randomly connected" graphs
 // (Erdős–Rényi) with p = 0.3 (sparse) and p = 0.6 (dense); the remaining
 // families support the ablation benches and tests.
+//
+// Every generator emits each edge exactly once and constructs through the
+// Graph::from_unique_edges fast path, so building a K = 10^4 instance is
+// O(E) with no dedup pass.
 #pragma once
 
 #include <cstddef>

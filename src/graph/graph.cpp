@@ -1,64 +1,162 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
 namespace ncb {
+namespace {
 
-Graph::Graph(std::size_t num_vertices)
-    : adjacency_(num_vertices) {
-  build_derived();
-}
-
-Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges)
-    : adjacency_(num_vertices) {
-  std::set<Edge> unique;
+void validate_edges(std::size_t num_vertices, const std::vector<Edge>& edges) {
   for (const auto& [a, b] : edges) {
     if (a == b) throw std::invalid_argument("Graph: self-loop not allowed");
     if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= num_vertices ||
         static_cast<std::size_t>(b) >= num_vertices) {
       throw std::out_of_range("Graph: edge endpoint out of range");
     }
-    unique.emplace(std::min(a, b), std::max(a, b));
   }
-  for (const auto& [a, b] : unique) {
-    adjacency_[static_cast<std::size_t>(a)].push_back(b);
-    adjacency_[static_cast<std::size_t>(b)].push_back(a);
-  }
-  num_edges_ = unique.size();
-  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
-  build_derived();
 }
 
-void Graph::build_derived() {
-  const std::size_t n = adjacency_.size();
-  closed_.resize(n);
-  adj_bits_.assign(n, Bitset64(n));
-  closed_bits_.assign(n, Bitset64(n));
+}  // namespace
+
+Graph::Graph(std::size_t num_vertices) : num_vertices_(num_vertices) {
+  build_csr({}, /*dedup=*/false);
+}
+
+Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges)
+    : num_vertices_(num_vertices) {
+  validate_edges(num_vertices_, edges);
+  build_csr(edges, /*dedup=*/true);
+}
+
+Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
+             UniqueEdgesTag)
+    : num_vertices_(num_vertices) {
+  validate_edges(num_vertices_, edges);
+  build_csr(edges, /*dedup=*/false);
+#ifndef NDEBUG
+  // The caller promised uniqueness; a duplicate would silently inflate
+  // num_edges(). Rows are sorted, so duplicates are adjacent.
+  for (std::size_t i = 0; i < num_vertices_; ++i) {
+    for (std::size_t k = offsets_[i] + 1; k < offsets_[i + 1]; ++k) {
+      assert(neighbors_[k] != neighbors_[k - 1] &&
+             "from_unique_edges: duplicate edge");
+    }
+  }
+#endif
+}
+
+Graph Graph::from_unique_edges(std::size_t num_vertices,
+                               const std::vector<Edge>& edges) {
+  return Graph(num_vertices, edges, UniqueEdgesTag{});
+}
+
+void Graph::build_csr(const std::vector<Edge>& edges, bool dedup) {
+  const std::size_t n = num_vertices_;
+  words_per_row_ = (n + 63) / 64;
+  // Pad each stored row to a whole cache line (8 words) so row starts keep
+  // a uniform 64-byte-friendly alignment; the word-wise OR/AND kernels see
+  // only the logical words_per_row_ words. Padding words stay zero.
+  row_stride_ = (words_per_row_ + 7) & ~std::size_t{7};
+  offsets_.assign(n + 1, 0);
+  // Degree counts; each undirected edge contributes one entry per endpoint.
+  for (const auto& [a, b] : edges) {
+    ++offsets_[static_cast<std::size_t>(a) + 1];
+    ++offsets_[static_cast<std::size_t>(b) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+
+  // Two-pass counting sort of the 2E directed entries — by destination,
+  // then stably by source — so neighbors_ comes out grouped by row with
+  // each row sorted ascending, in O(E + K) with no comparison sort. The
+  // destination histogram equals the degree histogram (the directed pair
+  // set is symmetric), so offsets_ doubles as both cursor seeds.
+  const std::size_t entries = 2 * edges.size();
+  std::vector<ArmId> by_dst_src(entries);
+  std::vector<ArmId> by_dst_dst(entries);
+  {
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [a, b] : edges) {
+      std::size_t pos = cursor[static_cast<std::size_t>(b)]++;
+      by_dst_src[pos] = a;
+      by_dst_dst[pos] = b;
+      pos = cursor[static_cast<std::size_t>(a)]++;
+      by_dst_src[pos] = b;
+      by_dst_dst[pos] = a;
+    }
+  }
+  neighbors_.resize(entries);
+  {
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t k = 0; k < entries; ++k) {
+      neighbors_[cursor[static_cast<std::size_t>(by_dst_src[k])]++] =
+          by_dst_dst[k];
+    }
+  }
+  by_dst_src.clear();
+  by_dst_src.shrink_to_fit();
+  by_dst_dst.clear();
+  by_dst_dst.shrink_to_fit();
+
+  if (dedup) {
+    // Duplicates (either orientation) are adjacent within a sorted row;
+    // compact in place and rebuild the prefix sums.
+    std::vector<std::size_t> new_offsets(n + 1, 0);
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ArmId prev = kNoArm;
+      for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+        const ArmId v = neighbors_[k];
+        if (v == prev) continue;
+        prev = v;
+        neighbors_[write++] = v;
+      }
+      new_offsets[i + 1] = write;
+    }
+    neighbors_.resize(write);
+    offsets_ = std::move(new_offsets);
+  }
+  num_edges_ = neighbors_.size() / 2;
+
+  // Closed rows share the neighbor offsets: row i holds deg(i)+1 entries
+  // starting at offsets_[i] + i, with i merged into sorted position.
+  closed_.resize(neighbors_.size() + n);
   for (std::size_t i = 0; i < n; ++i) {
-    closed_[i] = adjacency_[i];
-    closed_[i].push_back(static_cast<ArmId>(i));
-    std::sort(closed_[i].begin(), closed_[i].end());
-    for (const ArmId j : adjacency_[i]) adj_bits_[i].set(static_cast<std::size_t>(j));
-    for (const ArmId j : closed_[i]) closed_bits_[i].set(static_cast<std::size_t>(j));
+    const ArmId self = static_cast<ArmId>(i);
+    const std::size_t begin = offsets_[i];
+    const std::size_t end = offsets_[i + 1];
+    std::size_t out = begin + i;
+    std::size_t k = begin;
+    while (k < end && neighbors_[k] < self) closed_[out++] = neighbors_[k++];
+    closed_[out++] = self;
+    while (k < end) closed_[out++] = neighbors_[k++];
+  }
+
+  // Flat bitset rows (adjacency, then adjacency ∪ {i}).
+  adj_words_.assign(n * row_stride_, 0);
+  closed_words_.assign(n * row_stride_, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* adj_row = adj_words_.data() + i * row_stride_;
+    for (std::size_t k = offsets_[i]; k < offsets_[i + 1]; ++k) {
+      const auto j = static_cast<std::size_t>(neighbors_[k]);
+      adj_row[j >> 6] |= (1ULL << (j & 63));
+    }
+    std::uint64_t* closed_row = closed_words_.data() + i * row_stride_;
+    std::copy(adj_row, adj_row + words_per_row_, closed_row);
+    closed_row[i >> 6] |= (1ULL << (i & 63));
   }
 }
 
 bool Graph::has_edge(ArmId u, ArmId v) const {
-  if (u < 0 || v < 0 || static_cast<std::size_t>(u) >= num_vertices() ||
-      static_cast<std::size_t>(v) >= num_vertices() || u == v) {
-    return false;
-  }
-  return adj_bits_[static_cast<std::size_t>(u)].test(static_cast<std::size_t>(v));
+  if (!is_vertex(u) || !is_vertex(v) || u == v) return false;
+  return neighbors_bits(u).test(static_cast<std::size_t>(v));
 }
 
 std::vector<Edge> Graph::edges() const {
   std::vector<Edge> out;
   out.reserve(num_edges_);
-  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
-    for (const ArmId j : adjacency_[i]) {
+  for (std::size_t i = 0; i < num_vertices_; ++i) {
+    for (const ArmId j : neighbors(static_cast<ArmId>(i))) {
       if (static_cast<std::size_t>(j) > i) {
         out.emplace_back(static_cast<ArmId>(i), j);
       }
@@ -68,9 +166,12 @@ std::vector<Edge> Graph::edges() const {
 }
 
 Bitset64 Graph::strategy_neighborhood(const ArmSet& arms) const {
-  Bitset64 acc(num_vertices());
+  Bitset64 acc(num_vertices_);
   for (const ArmId i : arms) {
-    acc |= closed_bits_.at(static_cast<std::size_t>(i));
+    if (!is_vertex(i)) {
+      throw std::out_of_range("strategy_neighborhood: arm out of range");
+    }
+    acc |= closed_neighborhood_bits(i);
   }
   return acc;
 }
@@ -98,24 +199,25 @@ bool Graph::is_clique(const ArmSet& arms) const {
 }
 
 Graph Graph::complement() const {
-  const std::size_t n = num_vertices();
+  const std::size_t n = num_vertices_;
   std::vector<Edge> edges_out;
   for (std::size_t i = 0; i < n; ++i) {
+    const BitRow row = neighbors_bits(static_cast<ArmId>(i));
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (!adj_bits_[i].test(j)) {
+      if (!row.test(j)) {
         edges_out.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
       }
     }
   }
-  return Graph(n, edges_out);
+  return Graph(n, edges_out, UniqueEdgesTag{});
 }
 
 Graph Graph::induced_subgraph(const ArmSet& vertices,
                               ArmSet* original_ids) const {
-  std::vector<ArmId> map_to_new(num_vertices(), kNoArm);
+  std::vector<ArmId> map_to_new(num_vertices_, kNoArm);
   for (std::size_t v = 0; v < vertices.size(); ++v) {
     const ArmId orig = vertices[v];
-    if (orig < 0 || static_cast<std::size_t>(orig) >= num_vertices()) {
+    if (!is_vertex(orig)) {
       throw std::out_of_range("induced_subgraph: vertex out of range");
     }
     if (map_to_new[static_cast<std::size_t>(orig)] != kNoArm) {
@@ -133,15 +235,15 @@ Graph Graph::induced_subgraph(const ArmSet& vertices,
     }
   }
   if (original_ids) *original_ids = vertices;
-  return Graph(vertices.size(), sub_edges);
+  return Graph(vertices.size(), sub_edges, UniqueEdgesTag{});
 }
 
 std::string Graph::to_string() const {
   std::ostringstream out;
-  out << "Graph(V=" << num_vertices() << ", E=" << num_edges_ << ")\n";
-  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+  out << "Graph(V=" << num_vertices_ << ", E=" << num_edges_ << ")\n";
+  for (std::size_t i = 0; i < num_vertices_; ++i) {
     out << "  " << i << ":";
-    for (const ArmId j : adjacency_[i]) out << ' ' << j;
+    for (const ArmId j : neighbors(static_cast<ArmId>(i))) out << ' ' << j;
     out << '\n';
   }
   return out.str();

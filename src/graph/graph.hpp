@@ -1,22 +1,39 @@
 // Undirected relation graph over the K arms (paper §II).
 //
-// The graph is immutable after construction. It stores both sorted adjacency
-// lists (for iteration) and per-vertex bitset rows (for O(K/64) neighborhood
-// unions, the core of the combinatorial-play machinery).
+// The graph is immutable after construction and stored in compressed
+// sparse row (CSR) form: one `offsets_` prefix-sum array plus flat,
+// per-row-sorted `neighbors_` / `closed_` index arrays, and one flat word
+// array per bitset family (adjacency rows, closed rows). Neighborhood
+// accessors return non-owning views — Span<ArmId> over the index arrays,
+// BitRow over the word arrays — so the hot paths (the runner's per-slot
+// closed-neighborhood walk, the index policies' neighbor scans, Y_x
+// unions) iterate contiguous memory with no pointer chasing and no
+// per-call allocation. Accessors use unchecked indexing; vertex validity
+// is a debug-only assert (NDEBUG builds compile it out).
+//
+// The closed-neighborhood rows reuse the same offsets: row i of `closed_`
+// holds deg(i)+1 entries starting at offsets_[i] + i (each row is its
+// neighbor row with i merged in sorted position), so no second offset
+// array is stored.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/bitset64.hpp"
+#include "util/span.hpp"
 #include "util/types.hpp"
 
 namespace ncb {
 
 /// An undirected edge as an (ordered) vertex pair.
 using Edge = std::pair<ArmId, ArmId>;
+
+/// Sorted view over a run of arm ids inside the graph's CSR storage.
+using ArmSpan = Span<ArmId>;
 
 class Graph {
  public:
@@ -27,41 +44,59 @@ class Graph {
   /// edges are deduplicated.
   Graph(std::size_t num_vertices, const std::vector<Edge>& edges);
 
-  [[nodiscard]] std::size_t num_vertices() const noexcept { return adjacency_.size(); }
+  /// O(E) fast path for generators: the caller guarantees `edges` contains
+  /// no duplicates (in either orientation), so the dedup pass is skipped.
+  /// Self-loops and out-of-range endpoints are still rejected; duplicate
+  /// edges are a debug-only assert (and silently corrupt num_edges() in
+  /// release builds).
+  [[nodiscard]] static Graph from_unique_edges(std::size_t num_vertices,
+                                               const std::vector<Edge>& edges);
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return num_vertices_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
 
   [[nodiscard]] bool has_edge(ArmId u, ArmId v) const;
 
   /// Open neighborhood N(i): neighbors of i, sorted, excluding i itself.
-  [[nodiscard]] const std::vector<ArmId>& neighbors(ArmId i) const {
-    return adjacency_.at(static_cast<std::size_t>(i));
+  [[nodiscard]] ArmSpan neighbors(ArmId i) const noexcept {
+    assert(is_vertex(i));
+    const auto u = static_cast<std::size_t>(i);
+    return {neighbors_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
   }
 
   /// Closed neighborhood N_i = {i} ∪ N(i), sorted. The paper's side-bonus
   /// scope for arm i.
-  [[nodiscard]] const std::vector<ArmId>& closed_neighborhood(ArmId i) const {
-    return closed_.at(static_cast<std::size_t>(i));
+  [[nodiscard]] ArmSpan closed_neighborhood(ArmId i) const noexcept {
+    assert(is_vertex(i));
+    const auto u = static_cast<std::size_t>(i);
+    return {closed_.data() + offsets_[u] + u, offsets_[u + 1] - offsets_[u] + 1};
   }
 
-  /// Closed neighborhood as a bitset (for unions: Y_x = OR of rows).
-  [[nodiscard]] const Bitset64& closed_neighborhood_bits(ArmId i) const {
-    return closed_bits_.at(static_cast<std::size_t>(i));
+  /// Closed neighborhood as a bitset row (for unions: Y_x = OR of rows).
+  [[nodiscard]] BitRow closed_neighborhood_bits(ArmId i) const noexcept {
+    assert(is_vertex(i));
+    return {closed_words_.data() + static_cast<std::size_t>(i) * row_stride_,
+            words_per_row_, num_vertices_};
   }
 
   /// Open-neighborhood bitset row.
-  [[nodiscard]] const Bitset64& neighbors_bits(ArmId i) const {
-    return adj_bits_.at(static_cast<std::size_t>(i));
+  [[nodiscard]] BitRow neighbors_bits(ArmId i) const noexcept {
+    assert(is_vertex(i));
+    return {adj_words_.data() + static_cast<std::size_t>(i) * row_stride_,
+            words_per_row_, num_vertices_};
   }
 
-  [[nodiscard]] std::size_t degree(ArmId i) const {
-    return adjacency_.at(static_cast<std::size_t>(i)).size();
+  [[nodiscard]] std::size_t degree(ArmId i) const noexcept {
+    assert(is_vertex(i));
+    const auto u = static_cast<std::size_t>(i);
+    return offsets_[u + 1] - offsets_[u];
   }
 
   /// All edges, each once, with first < second, sorted lexicographically.
   [[nodiscard]] std::vector<Edge> edges() const;
 
   /// Union of closed neighborhoods of `arms`: the paper's Y_x. Arms must be
-  /// valid vertices.
+  /// valid vertices. The OR runs directly over the flat closed-row words.
   [[nodiscard]] Bitset64 strategy_neighborhood(const ArmSet& arms) const;
 
   /// Same, as a sorted vertex list.
@@ -86,13 +121,27 @@ class Graph {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  void build_derived();
+  struct UniqueEdgesTag {};
+  Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
+        UniqueEdgesTag);
 
-  std::vector<std::vector<ArmId>> adjacency_;
-  std::vector<std::vector<ArmId>> closed_;
-  std::vector<Bitset64> adj_bits_;
-  std::vector<Bitset64> closed_bits_;
+  [[nodiscard]] bool is_vertex(ArmId i) const noexcept {
+    return i >= 0 && static_cast<std::size_t>(i) < num_vertices_;
+  }
+
+  /// Builds every array from a validated edge list. `dedup` enables the
+  /// duplicate-elimination pass of the general constructor.
+  void build_csr(const std::vector<Edge>& edges, bool dedup);
+
+  std::size_t num_vertices_ = 0;
   std::size_t num_edges_ = 0;
+  std::vector<std::size_t> offsets_;    ///< n+1 prefix sums of degrees.
+  std::vector<ArmId> neighbors_;        ///< 2E entries, sorted per row.
+  std::vector<ArmId> closed_;           ///< 2E+n entries, sorted per row.
+  std::size_t words_per_row_ = 0;  ///< logical words: ceil(n / 64).
+  std::size_t row_stride_ = 0;     ///< storage stride, cache-line padded.
+  std::vector<std::uint64_t> adj_words_;     ///< n rows × row_stride_.
+  std::vector<std::uint64_t> closed_words_;  ///< n rows × row_stride_.
 };
 
 }  // namespace ncb

@@ -66,7 +66,8 @@ void bron_kerbosch(const Graph& g, Bitset64 r, Bitset64 p, Bitset64 x,
   // Candidates: P minus the pivot's compatible set = P ∩ (neighbors(pivot) ∪ {pivot}).
   Bitset64 candidates = p;
   if (pivot != kNoArm) {
-    Bitset64 compat = g.neighbors_bits(pivot);  // incompatible-with-pivot = adjacency
+    // Incompatible-with-pivot = adjacency; materialize the row view.
+    Bitset64 compat(g.neighbors_bits(pivot));
     // Vertices NOT adjacent to pivot (other than pivot) can be skipped;
     // iterate only over P ∩ (adj(pivot) ∪ {pivot}).
     Bitset64 keep = compat;

@@ -1,14 +1,111 @@
-// Fixed-capacity dynamic bitset backed by 64-bit words.
+// Fixed-capacity dynamic bitset backed by 64-bit words, plus a non-owning
+// row view (BitRow) over externally stored words.
 //
 // Used for graph adjacency rows and neighborhood unions: `Y_x = ∪ N_i` is a
-// word-wise OR, membership tests are O(1), popcount gives |Y_x|.
+// word-wise OR, membership tests are O(1), popcount gives |Y_x|. The graph
+// stores all of its adjacency rows in one flat word array (CSR-style) and
+// hands out BitRow views; Bitset64 remains the owning accumulator type and
+// accepts BitRow operands in every word-wise operation.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace ncb {
+
+class Bitset64;
+
+/// Non-owning read-only view of a bitset row: a word pointer into storage
+/// owned elsewhere (the graph's flat row array, or a Bitset64). Cheap to
+/// copy; invalidated with the underlying storage.
+class BitRow {
+ public:
+  BitRow() = default;
+  BitRow(const std::uint64_t* words, std::size_t num_words,
+         std::size_t size_bits) noexcept
+      : words_(words), num_words_(num_words), size_(size_bits) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t num_words() const noexcept { return num_words_; }
+  [[nodiscard]] const std::uint64_t* words() const noexcept { return words_; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      total += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
+    }
+    return total;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      if (words_[w]) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// True iff every bit set in this row is also set in `other`.
+  [[nodiscard]] bool is_subset_of(BitRow other) const noexcept {
+    assert(num_words_ <= other.num_words_);
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      if (words_[w] & ~other.words_[w]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] inline bool is_subset_of(const Bitset64& other) const noexcept;
+
+  /// True iff the two rows share at least one set bit.
+  [[nodiscard]] bool intersects(BitRow other) const noexcept {
+    assert(num_words_ <= other.num_words_);
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      if (words_[w] & other.words_[w]) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(BitRow a, BitRow b) noexcept {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t w = 0; w < a.num_words_; ++w) {
+      if (a.words_[w] != b.words_[w]) return false;
+    }
+    return true;
+  }
+
+  /// Indices of set bits, ascending.
+  [[nodiscard]] std::vector<std::int32_t> to_indices() const {
+    std::vector<std::int32_t> out;
+    out.reserve(count());
+    for_each([&out](std::int32_t i) { out.push_back(i); });
+    return out;
+  }
+
+  /// Calls fn(index) for every set bit, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < num_words_; ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        fn(static_cast<std::int32_t>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t num_words_ = 0;
+  std::size_t size_ = 0;
+};
 
 class Bitset64 {
  public:
@@ -18,7 +115,16 @@ class Bitset64 {
   explicit Bitset64(std::size_t size)
       : size_(size), words_((size + 63) / 64, 0) {}
 
+  /// Materializes a row view into an owning bitset.
+  explicit Bitset64(BitRow row)
+      : size_(row.size()), words_(row.words(), row.words() + row.num_words()) {}
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Read-only row view over this bitset's words.
+  [[nodiscard]] BitRow row() const noexcept {
+    return BitRow(words_.data(), words_.size(), size_);
+  }
 
   void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
   void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
@@ -31,89 +137,96 @@ class Bitset64 {
   }
 
   /// Number of set bits.
-  [[nodiscard]] std::size_t count() const noexcept {
-    std::size_t total = 0;
-    for (const auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
-    return total;
-  }
+  [[nodiscard]] std::size_t count() const noexcept { return row().count(); }
 
-  [[nodiscard]] bool any() const noexcept {
-    for (const auto w : words_)
-      if (w) return true;
-    return false;
-  }
+  [[nodiscard]] bool any() const noexcept { return row().any(); }
 
   [[nodiscard]] bool none() const noexcept { return !any(); }
 
   /// this |= other. Sizes must match.
   Bitset64& operator|=(const Bitset64& other) noexcept {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this |= other.row();
+  }
+
+  Bitset64& operator|=(BitRow other) noexcept {
+    assert(words_.size() <= other.num_words());
+    const std::uint64_t* w = other.words();
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= w[i];
     return *this;
   }
 
   /// this &= other. Sizes must match.
   Bitset64& operator&=(const Bitset64& other) noexcept {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this &= other.row();
+  }
+
+  Bitset64& operator&=(BitRow other) noexcept {
+    assert(words_.size() <= other.num_words());
+    const std::uint64_t* w = other.words();
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= w[i];
     return *this;
   }
 
   /// this &= ~other. Sizes must match.
   Bitset64& and_not(const Bitset64& other) noexcept {
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return and_not(other.row());
+  }
+
+  Bitset64& and_not(BitRow other) noexcept {
+    assert(words_.size() <= other.num_words());
+    const std::uint64_t* w = other.words();
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~w[i];
     return *this;
   }
 
   /// True iff every bit set in this is also set in `other`.
   [[nodiscard]] bool is_subset_of(const Bitset64& other) const noexcept {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & ~other.words_[i]) return false;
-    }
-    return true;
+    return row().is_subset_of(other.row());
+  }
+
+  [[nodiscard]] bool is_subset_of(BitRow other) const noexcept {
+    return row().is_subset_of(other);
   }
 
   /// True iff the two bitsets share at least one set bit.
   [[nodiscard]] bool intersects(const Bitset64& other) const noexcept {
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & other.words_[i]) return true;
-    }
-    return false;
+    return row().intersects(other.row());
+  }
+
+  [[nodiscard]] bool intersects(BitRow other) const noexcept {
+    return row().intersects(other);
   }
 
   friend bool operator==(const Bitset64& a, const Bitset64& b) noexcept {
     return a.size_ == b.size_ && a.words_ == b.words_;
   }
 
+  friend bool operator==(const Bitset64& a, BitRow b) noexcept {
+    return a.row() == b;
+  }
+
+  friend bool operator==(BitRow a, const Bitset64& b) noexcept {
+    return a == b.row();
+  }
+
   /// Indices of set bits, ascending.
   [[nodiscard]] std::vector<std::int32_t> to_indices() const {
-    std::vector<std::int32_t> out;
-    out.reserve(count());
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      std::uint64_t w = words_[wi];
-      while (w) {
-        const int bit = __builtin_ctzll(w);
-        out.push_back(static_cast<std::int32_t>(wi * 64 + static_cast<std::size_t>(bit)));
-        w &= w - 1;
-      }
-    }
-    return out;
+    return row().to_indices();
   }
 
   /// Calls fn(index) for every set bit, ascending.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      std::uint64_t w = words_[wi];
-      while (w) {
-        const int bit = __builtin_ctzll(w);
-        fn(static_cast<std::int32_t>(wi * 64 + static_cast<std::size_t>(bit)));
-        w &= w - 1;
-      }
-    }
+    row().for_each(static_cast<Fn&&>(fn));
   }
 
  private:
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+inline bool BitRow::is_subset_of(const Bitset64& other) const noexcept {
+  return is_subset_of(other.row());
+}
 
 }  // namespace ncb

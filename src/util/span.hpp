@@ -1,0 +1,95 @@
+// Lightweight non-owning read-only view over a contiguous array (a
+// pre-C++20 stand-in for std::span<const T>).
+//
+// The graph's CSR adjacency accessors return Span<ArmId> views into the
+// flat neighbor arrays: callers iterate them exactly like the former
+// `const std::vector<ArmId>&` results, but nothing is copied and the
+// view is two words. Views are invalidated by destroying (or mutating)
+// the underlying storage; Graph is immutable after construction, so its
+// views live as long as the graph.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+namespace ncb {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+  using iterator = const T*;
+
+  constexpr Span() noexcept = default;
+  constexpr Span(const T* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+  /// View over a whole vector (the storage must outlive the view).
+  Span(const std::vector<T>& v) noexcept : data_(v.data()), size_(v.size()) {}
+
+  [[nodiscard]] constexpr const T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] constexpr const T* begin() const noexcept { return data_; }
+  [[nodiscard]] constexpr const T* end() const noexcept { return data_ + size_; }
+
+  constexpr const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] constexpr const T& front() const noexcept { return data_[0]; }
+  [[nodiscard]] constexpr const T& back() const noexcept { return data_[size_ - 1]; }
+
+  /// Materializes the view (for callers that need ownership).
+  [[nodiscard]] std::vector<T> to_vector() const { return {begin(), end()}; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+template <typename T>
+[[nodiscard]] bool operator==(Span<T> a, Span<T> b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+[[nodiscard]] bool operator!=(Span<T> a, Span<T> b) noexcept {
+  return !(a == b);
+}
+
+template <typename T>
+[[nodiscard]] bool operator==(Span<T> a, const std::vector<T>& b) noexcept {
+  return a == Span<T>(b);
+}
+
+template <typename T>
+[[nodiscard]] bool operator==(const std::vector<T>& a, Span<T> b) noexcept {
+  return Span<T>(a) == b;
+}
+
+template <typename T>
+[[nodiscard]] bool operator!=(Span<T> a, const std::vector<T>& b) noexcept {
+  return !(a == b);
+}
+
+template <typename T>
+[[nodiscard]] bool operator!=(const std::vector<T>& a, Span<T> b) noexcept {
+  return !(a == b);
+}
+
+/// Readable gtest failure messages for EXPECT_EQ on spans.
+template <typename T>
+std::ostream& operator<<(std::ostream& out, Span<T> s) {
+  out << '{';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out << ", ";
+    out << s[i];
+  }
+  return out << '}';
+}
+
+}  // namespace ncb

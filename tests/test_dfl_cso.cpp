@@ -32,7 +32,7 @@ TEST(DflCso, UpdateListsMatchSgClosedNeighborhoods) {
   const Graph sg = build_strategy_graph(*family);
   for (StrategyId x = 0; x < static_cast<StrategyId>(family->size()); ++x) {
     const auto& list = policy.update_list(x);
-    const auto& expected = sg.closed_neighborhood(x);
+    const ArmSpan expected = sg.closed_neighborhood(x);
     ASSERT_EQ(list.size(), expected.size()) << "strategy " << x;
     for (std::size_t i = 0; i < list.size(); ++i) {
       EXPECT_EQ(list[i], static_cast<StrategyId>(expected[i]));

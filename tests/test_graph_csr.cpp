@@ -1,0 +1,222 @@
+// CSR layout equivalence suite: the flat compressed-sparse-row graph core
+// must expose exactly the adjacency structure a brute-force edge-list
+// reference implies, across every generator family and both construction
+// paths (deduplicating constructor and from_unique_edges fast path),
+// including the K = 0 and K = 1 degenerate graphs.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+/// Brute-force reference adjacency from an edge list: one sorted dedup'd
+/// std::set per vertex — deliberately the naive structure the CSR replaced.
+std::vector<std::set<ArmId>> reference_adjacency(std::size_t n,
+                                                 const std::vector<Edge>& edges) {
+  std::vector<std::set<ArmId>> adj(n);
+  for (const auto& [a, b] : edges) {
+    adj[static_cast<std::size_t>(a)].insert(b);
+    adj[static_cast<std::size_t>(b)].insert(a);
+  }
+  return adj;
+}
+
+/// Asserts that `g` matches the reference adjacency on every accessor the
+/// CSR serves: neighbors, closed neighborhoods, both bitset rows, degrees,
+/// has_edge, and the lexicographic edges() dump.
+void expect_matches_reference(const Graph& g,
+                              const std::vector<std::set<ArmId>>& ref) {
+  ASSERT_EQ(g.num_vertices(), ref.size());
+  std::size_t edge_entries = 0;
+  std::vector<Edge> ref_edges;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const auto v = static_cast<ArmId>(i);
+    const ArmSet expected_open(ref[i].begin(), ref[i].end());
+    ArmSet expected_closed = expected_open;
+    expected_closed.insert(
+        std::lower_bound(expected_closed.begin(), expected_closed.end(), v), v);
+
+    EXPECT_EQ(g.neighbors(v), expected_open) << "vertex " << v;
+    EXPECT_EQ(g.closed_neighborhood(v), expected_closed) << "vertex " << v;
+    EXPECT_EQ(g.degree(v), expected_open.size()) << "vertex " << v;
+    EXPECT_EQ(g.neighbors_bits(v).to_indices(), expected_open)
+        << "vertex " << v;
+    EXPECT_EQ(g.closed_neighborhood_bits(v).to_indices(), expected_closed)
+        << "vertex " << v;
+
+    edge_entries += ref[i].size();
+    for (const ArmId j : ref[i]) {
+      EXPECT_TRUE(g.has_edge(v, j));
+      if (j > v) ref_edges.emplace_back(v, j);
+    }
+  }
+  EXPECT_EQ(g.num_edges(), edge_entries / 2);
+  EXPECT_EQ(g.edges(), ref_edges);
+}
+
+/// Checks both construction paths against the reference, plus a shuffled
+/// + orientation-flipped + duplicated list through the dedup constructor.
+void expect_construction_equivalence(std::size_t n,
+                                     const std::vector<Edge>& unique_edges) {
+  const auto ref = reference_adjacency(n, unique_edges);
+
+  const Graph dedup_path(n, unique_edges);
+  expect_matches_reference(dedup_path, ref);
+
+  const Graph fast_path = Graph::from_unique_edges(n, unique_edges);
+  expect_matches_reference(fast_path, ref);
+
+  // Abuse the general constructor: reversed orientations, duplicates, and
+  // a scrambled order must all collapse to the same graph.
+  std::vector<Edge> messy;
+  for (const auto& [a, b] : unique_edges) {
+    messy.emplace_back(b, a);
+    messy.emplace_back(a, b);
+    messy.emplace_back(b, a);
+  }
+  Xoshiro256 rng(99);
+  for (std::size_t i = messy.size(); i > 1; --i) {
+    std::swap(messy[i - 1], messy[rng.uniform_int(i)]);
+  }
+  const Graph messy_path(n, messy);
+  expect_matches_reference(messy_path, ref);
+  EXPECT_EQ(messy_path.num_edges(), unique_edges.size());
+}
+
+TEST(GraphCsr, EmptyGraphZeroVertices) {
+  const Graph g(0);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_TRUE(g.strategy_neighborhood_list({}).empty());
+  expect_construction_equivalence(0, {});
+}
+
+TEST(GraphCsr, SingleVertex) {
+  const Graph g(1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+  EXPECT_EQ(g.closed_neighborhood(0), ArmSet{0});
+  EXPECT_EQ(g.closed_neighborhood_bits(0).to_indices(), ArmSet{0});
+  EXPECT_FALSE(g.has_edge(0, 0));
+  expect_construction_equivalence(1, {});
+}
+
+TEST(GraphCsr, EmptyGraphFamily) {
+  for (const std::size_t n : {2u, 7u, 65u}) {
+    const Graph g = empty_graph(n);
+    expect_matches_reference(g, reference_adjacency(n, {}));
+  }
+}
+
+TEST(GraphCsr, CompleteGraphFamily) {
+  for (const std::size_t n : {2u, 5u, 66u}) {
+    const Graph g = complete_graph(n);
+    std::vector<Edge> edges;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        edges.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
+      }
+    }
+    expect_matches_reference(g, reference_adjacency(n, edges));
+    expect_construction_equivalence(n, edges);
+  }
+}
+
+TEST(GraphCsr, ErdosRenyiFamily) {
+  Xoshiro256 rng(20170605);
+  for (const double p : {0.05, 0.3, 0.9}) {
+    const Graph g = erdos_renyi(90, p, rng);
+    // The generator takes the fast path; rebuilding from its edge dump via
+    // the deduplicating constructor must reproduce it exactly.
+    expect_construction_equivalence(90, g.edges());
+  }
+}
+
+TEST(GraphCsr, WattsStrogatzFamily) {
+  Xoshiro256 rng(7);
+  const Graph g = watts_strogatz(80, 3, 0.2, rng);
+  expect_construction_equivalence(80, g.edges());
+}
+
+TEST(GraphCsr, BarabasiAlbertAndGridFamilies) {
+  Xoshiro256 rng(11);
+  const Graph ba = barabasi_albert(60, 2, rng);
+  expect_construction_equivalence(60, ba.edges());
+  const Graph grid = grid_graph(6, 9);
+  expect_construction_equivalence(54, grid.edges());
+}
+
+TEST(GraphCsr, ClosedRowSharesOffsetsAcrossWordBoundaries) {
+  // 130 vertices spans three 64-bit words; a path graph exercises closed
+  // rows whose self-insertion lands at the front, middle, and back.
+  const Graph g = path_graph(130);
+  EXPECT_EQ(g.closed_neighborhood(0), (ArmSet{0, 1}));
+  EXPECT_EQ(g.closed_neighborhood(64), (ArmSet{63, 64, 65}));
+  EXPECT_EQ(g.closed_neighborhood(129), (ArmSet{128, 129}));
+  EXPECT_EQ(g.neighbors(64), (ArmSet{63, 65}));
+}
+
+TEST(GraphCsr, StrategyNeighborhoodMatchesBruteForceUnion) {
+  Xoshiro256 rng(5);
+  const Graph g = erdos_renyi(70, 0.2, rng);
+  const ArmSet strategy{3, 17, 42, 69};
+  std::set<ArmId> expected;
+  for (const ArmId i : strategy) {
+    expected.insert(i);
+    for (const ArmId j : g.neighbors(i)) expected.insert(j);
+  }
+  EXPECT_EQ(g.strategy_neighborhood_list(strategy),
+            ArmSet(expected.begin(), expected.end()));
+  EXPECT_EQ(g.strategy_neighborhood(strategy).count(), expected.size());
+}
+
+TEST(GraphCsr, SpanViewsAreStableAndComparable) {
+  const Graph g = cycle_graph(10);
+  const ArmSpan a = g.neighbors(4);
+  const ArmSpan b = g.neighbors(4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.data(), b.data());  // views into the same flat CSR array
+  EXPECT_EQ(a.to_vector(), (ArmSet{3, 5}));
+  EXPECT_NE(a, g.neighbors(5));
+}
+
+TEST(GraphCsr, ConstructorValidationUnchanged) {
+  EXPECT_THROW(Graph(3, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Graph(3, {{0, 3}}), std::out_of_range);
+  EXPECT_THROW(Graph(3, {{-1, 1}}), std::out_of_range);
+  EXPECT_THROW(Graph::from_unique_edges(3, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_unique_edges(3, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(Graph(2, {{0, 1}}).strategy_neighborhood({2}),
+               std::out_of_range);
+}
+
+TEST(GraphCsr, ComplementAndInducedSubgraphStayConsistent) {
+  Xoshiro256 rng(3);
+  const Graph g = erdos_renyi(40, 0.4, rng);
+  const Graph c = g.complement();
+  EXPECT_EQ(g.num_edges() + c.num_edges(), 40u * 39u / 2u);
+  for (ArmId u = 0; u < 40; ++u) {
+    for (ArmId v = u + 1; v < 40; ++v) {
+      EXPECT_NE(g.has_edge(u, v), c.has_edge(u, v));
+    }
+  }
+  ArmSet ids;
+  const Graph sub = g.induced_subgraph({5, 1, 30}, &ids);
+  EXPECT_EQ(ids, (ArmSet{5, 1, 30}));
+  EXPECT_EQ(sub.has_edge(0, 1), g.has_edge(5, 1));
+  EXPECT_EQ(sub.has_edge(0, 2), g.has_edge(5, 30));
+  EXPECT_EQ(sub.has_edge(1, 2), g.has_edge(1, 30));
+}
+
+}  // namespace
+}  // namespace ncb

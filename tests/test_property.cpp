@@ -24,7 +24,7 @@ class RandomGraphProperty : public ::testing::TestWithParam<std::uint64_t> {
 TEST_P(RandomGraphProperty, ClosedNeighborhoodContainsSelfAndNeighbors) {
   const Graph g = make_graph(30, 0.3);
   for (ArmId v = 0; v < 30; ++v) {
-    const auto& closed = g.closed_neighborhood(v);
+    const ArmSpan closed = g.closed_neighborhood(v);
     EXPECT_NE(std::find(closed.begin(), closed.end(), v), closed.end());
     EXPECT_EQ(closed.size(), g.degree(v) + 1);
     for (const ArmId j : g.neighbors(v)) {
