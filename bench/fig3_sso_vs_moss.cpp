@@ -2,11 +2,16 @@
 // Fig. 3(b) accumulated regret). K = 100 arms on a random relation graph,
 // means uniform in [0,1], n = 10000.
 //
+// A thin client of the sweep engine (src/exp/): the two policies form a
+// 2-job SweepSpec whose replications run as fine-grained shards, and the
+// plotted series come from the jobs' dense checkpoint aggregates.
+//
 // Shape criterion: DFL-SSO's accumulated regret grows far slower than
 // MOSS's, and its per-slot expected regret converges to ~0 sooner.
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "exp/sweep_runner.hpp"
 #include "sim/thread_pool.hpp"
 #include "theory/bounds.hpp"
 #include "graph/clique_cover.hpp"
@@ -26,37 +31,52 @@ int main(int argc, char** argv) {
                "MOSS's accumulated regret keeps climbing.",
                config);
 
+  exp::SweepSpec spec;
+  spec.name = "fig3";
+  spec.scenario = Scenario::kSso;
+  spec.policies = {"moss", "dfl-sso"};
+  spec.graphs = {config.graph_family};
+  spec.arms = {config.num_arms};
+  spec.edge_probabilities = {config.edge_probability};
+  spec.horizons = {config.horizon};
+  spec.replications = config.replications;
+  spec.seed = config.seed;
+  spec.checkpoints = 0;  // dense grid: the figures plot every slot
+
   ThreadPool pool;
   Timer timer;
-  const auto moss = run_single_experiment(config, "moss", Scenario::kSso, &pool);
-  const auto sso = run_single_experiment(config, "dfl-sso", Scenario::kSso, &pool);
+  exp::SweepRunOptions options;
+  options.pool = &pool;
+  const auto result = exp::run_sweep(spec, options);
+  const exp::JobAggregate& moss = result.outcomes[0].aggregate;
+  const exp::JobAggregate& sso = result.outcomes[1].aggregate;
 
   // Fig. 3(a): per-slot expected regret (mean over replications).
   std::cout << "\n-- Fig 3(a): expected (per-slot) regret --\n";
   std::cout << "series,t,expected_regret\n";
-  print_series_csv("MOSS", moss.expected_regret(), flags.csv_points);
-  print_series_csv("DFL-SSO", sso.expected_regret(), flags.csv_points);
+  print_series_csv("MOSS", moss.expected().means(), flags.csv_points);
+  print_series_csv("DFL-SSO", sso.expected().means(), flags.csv_points);
   print_figure("Fig 3(a) expected regret",
-               {{"MOSS", moss.expected_regret()},
-                {"DFL-SSO", sso.expected_regret()}},
+               {{"MOSS", moss.expected().means()},
+                {"DFL-SSO", sso.expected().means()}},
                "E[regret]", 1.0);
 
   // Fig. 3(b): accumulated regret.
   std::cout << "\n-- Fig 3(b): accumulated regret --\n";
   std::cout << "series,t,accumulated_regret\n";
-  print_series_csv("MOSS", moss.accumulated_regret(), flags.csv_points);
-  print_series_csv("DFL-SSO", sso.accumulated_regret(), flags.csv_points);
+  print_series_csv("MOSS", moss.cumulative().means(), flags.csv_points);
+  print_series_csv("DFL-SSO", sso.cumulative().means(), flags.csv_points);
   print_figure("Fig 3(b) accumulated regret",
-               {{"MOSS", moss.accumulated_regret()},
-                {"DFL-SSO", sso.accumulated_regret()}},
+               {{"MOSS", moss.cumulative().means()},
+                {"DFL-SSO", sso.cumulative().means()}},
                "R_t", 1.0);
   maybe_write_svg(flags, "fig3a", "Fig 3(a) expected regret",
-                  {{"MOSS", moss.expected_regret()},
-                   {"DFL-SSO", sso.expected_regret()}},
+                  {{"MOSS", moss.expected().means()},
+                   {"DFL-SSO", sso.expected().means()}},
                   "E[regret]");
   maybe_write_svg(flags, "fig3b", "Fig 3(b) accumulated regret",
-                  {{"MOSS", moss.accumulated_regret()},
-                   {"DFL-SSO", sso.accumulated_regret()}},
+                  {{"MOSS", moss.cumulative().means()},
+                   {"DFL-SSO", sso.cumulative().means()}},
                   "R_t");
 
   // Headline comparison + theoretical bounds for EXPERIMENTS.md.
@@ -67,13 +87,14 @@ int main(int argc, char** argv) {
   const double t1 = theorem1_bound(config.horizon, config.num_arms,
                                    part.clique_cover_size());
   std::cout << "\n-- summary --\n"
-            << "final cumulative regret: MOSS=" << moss.final_cumulative.mean()
-            << " (+/-" << moss.final_cumulative.ci95_halfwidth() << ")"
-            << "  DFL-SSO=" << sso.final_cumulative.mean() << " (+/-"
-            << sso.final_cumulative.ci95_halfwidth() << ")\n"
+            << "final cumulative regret: MOSS="
+            << moss.final_cumulative().mean() << " (+/-"
+            << moss.final_cumulative().ci95_halfwidth() << ")"
+            << "  DFL-SSO=" << sso.final_cumulative().mean() << " (+/-"
+            << sso.final_cumulative().ci95_halfwidth() << ")\n"
             << "improvement factor: "
-            << moss.final_cumulative.mean() /
-                   std::max(sso.final_cumulative.mean(), 1e-9)
+            << moss.final_cumulative().mean() /
+                   std::max(sso.final_cumulative().mean(), 1e-9)
             << "x\n"
             << "clique cover |C(H)| = " << part.clique_cover_size()
             << " (delta0 threshold split: |K1|=" << part.k1.size()

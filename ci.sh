@@ -3,7 +3,8 @@
 # with per-stage timing and a one-line recap so CI logs are skimmable.
 #
 # Usage: ./ci.sh            — -Werror Release build, full ctest, observe-path
-#                             smoke, then ASan/UBSan ctest.
+#                             smoke, sweep-engine smoke (resume round-trip +
+#                             thread determinism), then ASan/UBSan ctest.
 #        ./ci.sh bench      — -Werror Release build, then the tracked
 #                             benchmark suites (micro_policies + scaling_k)
 #                             in Google Benchmark JSON mode, merged into
@@ -44,6 +45,33 @@ smoke() {
   else
     echo "micro_policies not built (Google Benchmark absent) — smoke skipped"
   fi
+}
+
+# Sweep engine smoke: a tiny 2-policy grid (K <= 50) must (a) produce
+# byte-identical JSON across thread counts and (b) round-trip through the
+# --max-jobs / --resume path to the exact bytes of an uninterrupted run.
+sweep_smoke() {
+  local spec=build/sweep_smoke.spec
+  cat > "$spec" <<'EOF'
+name = ci-smoke
+scenario = sso
+policies = moss, dfl-sso
+graphs = er
+arms = 50
+p = 0.3
+horizons = 400
+replications = 6
+checkpoints = 12
+seed = 7
+EOF
+  ./build/examples/ncb_sweep --spec "$spec" --out build/sweep_full.json \
+      --csv build/sweep_full.csv --threads 4
+  ./build/examples/ncb_sweep --spec "$spec" --out build/sweep_resume.json \
+      --threads 1 --max-jobs 1
+  ./build/examples/ncb_sweep --spec "$spec" --out build/sweep_resume.json \
+      --threads 8 --resume
+  cmp build/sweep_full.json build/sweep_resume.json
+  echo "sweep smoke: resume round-trip byte-identical across 1/4/8 threads"
 }
 
 asan() {
@@ -89,6 +117,8 @@ if [ "${1:-}" = "bench" ]; then
 else
   stage "tier-1" "tier-1: -Werror Release build + full test suite" tier1
   stage "smoke" "observe-path smoke: batched vs per-edge delivery must run" smoke
+  stage "sweep" "sweep engine smoke: resume round-trip + thread determinism" \
+        sweep_smoke
   stage "asan" "sanitizers: ASan/UBSan build + test suite" asan
 fi
 

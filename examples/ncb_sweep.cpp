@@ -1,0 +1,212 @@
+// ncb_sweep — the sweep engine's CLI.
+//
+// Loads a declarative sweep spec (see specs/*.sweep and README "Running
+// sweeps"), expands the grid, runs every job as fine-grained shards on a
+// thread pool, and writes schema-versioned JSON (and optionally CSV). The
+// JSON output is bit-identical for any --threads / --shard-size choice, and
+// --resume re-runs only the grid points missing from a partial output file.
+//
+// Usage:
+//   ncb_sweep --spec specs/fig3.sweep --out fig3.json [--csv fig3.csv]
+//             [--threads N] [--shard-size N] [--max-jobs N] [--resume]
+//             [--list] [--list-policies]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/policy_registry.hpp"
+#include "exp/emitters.hpp"
+#include "exp/sweep_runner.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/arg_parse.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ncb;
+using namespace ncb::exp;
+
+int usage(const char* program) {
+  std::cerr
+      << "usage: " << program << " --spec <file> [options]\n"
+         "  --spec <file>     sweep spec (key = value lines; see specs/)\n"
+         "  --out <file>      JSON output (default: <spec name>.sweep.json)\n"
+         "  --csv <file>      also emit a long-format CSV table\n"
+         "  --threads N       worker threads (0 = hardware, default)\n"
+         "  --shard-size N    fixed replications per shard (0 = auto)\n"
+         "  --max-jobs N      run at most N pending jobs, then stop\n"
+         "  --resume          keep finished jobs found in --out, run the rest\n"
+         "  --list            print the expanded job list and exit\n"
+         "  --list-policies   print the policy registry and exit\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParse args(argc, argv);
+    if (args.has("help")) return usage(args.program().c_str());
+    if (args.has("list-policies")) {
+      std::cout << PolicyRegistry::instance().render_listing();
+      return 0;
+    }
+    const std::string spec_path = args.get_string("spec", "");
+    if (spec_path.empty()) return usage(args.program().c_str());
+    const SweepSpec spec = SweepSpec::parse_file(spec_path);
+    const std::vector<SweepJob> jobs = spec.expand();
+
+    if (args.has("list")) {
+      std::cout << "sweep '" << spec.name << "': " << jobs.size()
+                << " jobs\n";
+      for (const SweepJob& job : jobs) {
+        std::cout << "  [" << job.index << "] " << job.key << '\n';
+      }
+      return 0;
+    }
+
+    const std::string out_path =
+        args.get_string("out", spec.name + ".sweep.json");
+    const std::string csv_path = args.get_string("csv", "");
+    const auto threads = args.get_int("threads", 0);
+    const auto shard_size = args.get_int("shard-size", 0);
+    const auto max_jobs = args.get_int("max-jobs", 0);
+    if (threads < 0 || shard_size < 0 || max_jobs < 0) {
+      std::cerr << args.program()
+                << ": error: --threads/--shard-size/--max-jobs must be >= 0\n";
+      return 2;
+    }
+
+    // Resume: harvest finished job lines from a previous (partial) output.
+    // A kept record must match the current spec exactly — the key encodes
+    // the grid coordinates, and the record's seed/replications/checkpoints
+    // are checked here so editing those spec fields invalidates old runs
+    // instead of silently relabeling them.
+    std::map<std::string, std::string> done;
+    if (args.has("resume")) {
+      std::map<std::string, const SweepJob*> by_key;
+      for (const SweepJob& job : jobs) by_key.emplace(job.key, &job);
+      for (auto& [key, line] : load_job_lines(out_path)) {
+        const auto it = by_key.find(key);
+        if (it == by_key.end()) {
+          std::cout << "(resume: dropping stale job '" << key << "')\n";
+          continue;
+        }
+        const ExperimentConfig& config = it->second->config;
+        JobRecord record;
+        try {
+          record = parse_job_json(line);
+        } catch (const std::invalid_argument&) {
+          std::cout << "(resume: dropping unreadable record '" << key
+                    << "')\n";
+          continue;
+        }
+        if (record.seed != config.seed ||
+            record.replications != config.replications ||
+            record.checkpoints !=
+                checkpoint_grid(config.horizon, spec.checkpoints)) {
+          std::cout << "(resume: dropping outdated job '" << key
+                    << "' — spec seed/replications/checkpoints changed)\n";
+          continue;
+        }
+        done.emplace(key, line);
+      }
+      std::cout << "resume: " << done.size() << "/" << jobs.size()
+                << " jobs already done in " << out_path << '\n';
+    }
+
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    std::cout << "sweep '" << spec.name << "': " << jobs.size() << " jobs, "
+              << pool.num_threads() << " threads\n";
+
+    std::set<std::string> skip;
+    for (const auto& [key, line] : done) skip.insert(key);
+
+    // Incremental checkpoint: header + already-done jobs up front, then one
+    // appended line per finished job (O(total size) I/O). A crash leaves a
+    // footer-less file load_job_lines can still scan; the happy path ends
+    // with one atomic, expansion-ordered rewrite below.
+    std::ofstream checkpoint(out_path, std::ios::binary | std::ios::trunc);
+    if (!checkpoint) {
+      throw std::runtime_error("cannot open '" + out_path + "' for write");
+    }
+    checkpoint << render_sweep_json_header(spec);
+    for (const SweepJob& job : jobs) {
+      const auto it = done.find(job.key);
+      if (it != done.end()) checkpoint << it->second << ",\n";
+    }
+    checkpoint.flush();
+
+    Timer timer;
+    SweepRunOptions options;
+    options.pool = &pool;
+    options.shard_size = static_cast<std::size_t>(shard_size);
+    options.max_jobs = static_cast<std::size_t>(max_jobs);
+    std::size_t launched = 0;
+    std::map<std::string, JobRecord> fresh;
+    options.on_job = [&](const JobOutcome& outcome) {
+      ++launched;
+      std::cout << "  [" << outcome.job.index + 1 << "/" << jobs.size()
+                << "] " << outcome.job.key << "  reps="
+                << outcome.aggregate.replications() << " shards="
+                << outcome.shards << "x" << outcome.shard_size
+                << "  final=" << outcome.aggregate.final_cumulative().mean()
+                << "  " << outcome.seconds << "s\n";
+      JobRecord record = JobRecord::from(outcome.job, outcome.aggregate);
+      done[outcome.job.key] = render_job_json(record);
+      checkpoint << done[outcome.job.key] << ",\n" << std::flush;
+      fresh.emplace(outcome.job.key, std::move(record));
+    };
+    const SweepResult result = run_sweep(spec, options, skip);
+    checkpoint.close();
+
+    // Final rewrite: jobs in expansion order regardless of which run
+    // produced them, so partial + resume equals one full run byte-for-byte.
+    std::vector<std::string> lines;
+    for (const SweepJob& job : jobs) {
+      const auto it = done.find(job.key);
+      if (it != done.end()) lines.push_back(it->second);
+    }
+    write_file(out_path, render_sweep_json(spec, lines));
+    const std::size_t emitted = lines.size();
+    std::cout << "wrote " << out_path << " (" << emitted << "/" << jobs.size()
+              << " jobs)\n";
+    if (!csv_path.empty()) {
+      // Only resumed jobs need re-parsing; fresh ones keep their records.
+      std::vector<JobRecord> records;
+      for (const SweepJob& job : jobs) {
+        const auto it = done.find(job.key);
+        if (it == done.end()) continue;
+        const auto have = fresh.find(job.key);
+        records.push_back(have != fresh.end() ? have->second
+                                              : parse_job_json(it->second));
+      }
+      write_file(csv_path, render_sweep_csv(records));
+      std::cout << "wrote " << csv_path << '\n';
+    }
+
+    if (!result.policy_seconds.empty()) {
+      std::cout << "per-policy timing (this run):\n";
+      for (const auto& [policy, stat] : result.policy_seconds) {
+        std::cout << "  " << policy << ": " << stat.count() << " jobs, mean "
+                  << stat.mean() << "s, total "
+                  << stat.mean() * static_cast<double>(stat.count()) << "s\n";
+      }
+    }
+    if (result.pending > 0) {
+      std::cout << "partial: " << result.pending
+                << " jobs still pending (rerun with --resume)\n";
+    }
+    std::cout << "ran " << launched << " jobs (skipped " << result.skipped
+              << ") in " << timer.elapsed_seconds() << "s\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << (argc > 0 ? argv[0] : "ncb_sweep") << ": error: " << e.what()
+              << '\n';
+    return 2;
+  }
+}

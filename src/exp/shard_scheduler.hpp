@@ -1,0 +1,74 @@
+// Deterministic shard scheduling for replication fan-out.
+//
+// A "shard" is a contiguous block of a job's replications that runs as one
+// thread-pool task. Sharding is horizon-aware: long-horizon jobs get shards
+// of one replication (maximum parallelism), short jobs get bigger shards so
+// per-task overhead stays negligible. Every replication seeds its streams
+// with counter-based derivation (util/rng.hpp derive_seed_at), and shard
+// results merge in shard-index order, so a job's output is bit-identical for
+// any thread count — including no pool at all — under a fixed shard plan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/replication.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace ncb::exp {
+
+/// Default work target per shard in simulated slots (shard replications ×
+/// horizon). 16k slots splits a fig3-sized job (n = 10^4) into
+/// one-replication shards while keeping tiny-horizon shards chunky.
+inline constexpr std::size_t kDefaultSlotsPerShard = 16384;
+
+/// A partition of `replications` into contiguous shards of `shard_size`
+/// (the last shard may be short).
+struct ShardPlan {
+  std::size_t replications = 0;
+  std::size_t shard_size = 1;
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shard_size == 0 ? 0
+                           : (replications + shard_size - 1) / shard_size;
+  }
+  [[nodiscard]] std::size_t shard_begin(std::size_t shard) const noexcept {
+    return shard * shard_size;
+  }
+  [[nodiscard]] std::size_t shard_end(std::size_t shard) const noexcept {
+    const std::size_t end = (shard + 1) * shard_size;
+    return end < replications ? end : replications;
+  }
+};
+
+/// Horizon-aware shard sizing: shard_size ≈ target_slots / horizon, clamped
+/// to [1, replications]. A non-zero `shard_size_override` wins outright.
+[[nodiscard]] ShardPlan plan_shards(
+    std::size_t replications, TimeSlot horizon,
+    std::size_t shard_size_override = 0,
+    std::size_t target_slots_per_shard = kDefaultSlotsPerShard);
+
+/// Runs `fn(shard)` for every shard of the plan: bulk-enqueued on `pool`
+/// (one lock, one wake-up) when non-null, inline in shard order otherwise.
+/// Blocks until all shards finished; rethrows the first shard exception.
+void for_each_shard(const ShardPlan& plan, ThreadPool* pool,
+                    const std::function<void(std::size_t)>& fn);
+
+/// Sharded replacement for run_replicated_single. Replications are split
+/// per `plan_shards(options.replications, options.runner.horizon,
+/// shard_size_override)`; each shard aggregates its replications in order
+/// and shard aggregates merge in shard-index order, so the result does not
+/// depend on options.pool (or its thread count) at all.
+[[nodiscard]] ReplicatedResult run_sharded_single(
+    const SinglePolicyFactory& make_policy, const BanditInstance& instance,
+    Scenario scenario, const ReplicationOptions& options,
+    std::size_t shard_size_override = 0);
+
+/// Combinatorial counterpart; `family` must be built over the instance graph.
+[[nodiscard]] ReplicatedResult run_sharded_combinatorial(
+    const CombinatorialPolicyFactory& make_policy,
+    const BanditInstance& instance, const FeasibleSet& family,
+    Scenario scenario, const ReplicationOptions& options,
+    std::size_t shard_size_override = 0);
+
+}  // namespace ncb::exp

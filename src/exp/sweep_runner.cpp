@@ -1,0 +1,89 @@
+#include "exp/sweep_runner.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "core/policy_factory.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ncb::exp {
+
+JobOutcome run_sweep_job(const SweepJob& job, std::size_t checkpoints,
+                         const SweepRunOptions& options) {
+  Timer timer;
+  const ExperimentConfig& config = job.config;
+  const std::vector<TimeSlot> grid =
+      checkpoint_grid(config.horizon, checkpoints);
+  const BanditInstance instance = build_instance(config);
+  const bool combinatorial = is_combinatorial(job.scenario);
+  std::shared_ptr<const FeasibleSet> family;
+  if (combinatorial) family = build_family(config, instance.graph());
+
+  RunnerOptions runner;
+  runner.horizon = config.horizon;
+
+  const ShardPlan plan =
+      plan_shards(config.replications, config.horizon, options.shard_size);
+  std::vector<ShardSamples> shards(plan.num_shards());
+  for_each_shard(plan, options.pool, [&](std::size_t s) {
+    ShardSamples out;
+    out.reps.reserve(plan.shard_end(s) - plan.shard_begin(s));
+    for (std::size_t r = plan.shard_begin(s); r < plan.shard_end(s); ++r) {
+      Environment env(instance, derive_seed_at(config.seed, 2 * r));
+      const std::uint64_t policy_seed = derive_seed_at(config.seed, 2 * r + 1);
+      RunResult run;
+      if (combinatorial) {
+        const auto policy =
+            make_combinatorial_policy(job.policy, family, policy_seed);
+        run = run_combinatorial(*policy, *family, env, job.scenario, runner);
+      } else {
+        const auto policy =
+            make_single_play_policy(job.policy, config.horizon, policy_seed);
+        run = run_single_play(*policy, env, job.scenario, runner);
+      }
+      out.reps.push_back(sample_run(run, grid));
+      out.optimal_per_slot = run.optimal_per_slot;
+    }
+    shards[s] = std::move(out);
+  });
+
+  JobOutcome outcome;
+  outcome.job = job;
+  outcome.aggregate = JobAggregate(grid);
+  for (const ShardSamples& shard : shards) {
+    for (const RepSample& rep : shard.reps) outcome.aggregate.add_rep(rep);
+    if (!shard.reps.empty()) {
+      outcome.aggregate.set_optimal(shard.optimal_per_slot);
+    }
+  }
+  outcome.shards = plan.num_shards();
+  outcome.shard_size = plan.shard_size;
+  outcome.seconds = timer.elapsed_seconds();
+  return outcome;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepRunOptions& options,
+                      const std::set<std::string>& skip_keys) {
+  SweepRunOptions job_options = options;
+  if (job_options.shard_size == 0) job_options.shard_size = spec.shard_size;
+
+  SweepResult result;
+  for (const SweepJob& job : spec.expand()) {
+    if (skip_keys.count(job.key)) {
+      ++result.skipped;
+      continue;
+    }
+    if (options.max_jobs != 0 && result.outcomes.size() >= options.max_jobs) {
+      ++result.pending;
+      continue;
+    }
+    JobOutcome outcome = run_sweep_job(job, spec.checkpoints, job_options);
+    result.policy_seconds[job.policy].add(outcome.seconds);
+    if (options.on_job) options.on_job(outcome);
+    result.outcomes.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace ncb::exp

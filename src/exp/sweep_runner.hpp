@@ -1,0 +1,69 @@
+// The sweep engine's execution layer: expand a SweepSpec, run each job's
+// replications as fine-grained shards on a ThreadPool, and stream mergeable
+// aggregates shard → job → sweep.
+//
+// Determinism contract: a job's aggregate (and therefore the emitted JSON)
+// is bit-identical for any thread count and any shard size, because every
+// replication draws counter-based seeds and samples merge in global
+// replication order. Timing is collected separately and never enters the
+// deterministic records.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/shard_scheduler.hpp"
+#include "exp/sweep_spec.hpp"
+#include "util/running_stat.hpp"
+
+namespace ncb::exp {
+
+/// One completed job plus its (non-deterministic) execution metadata.
+struct JobOutcome {
+  SweepJob job;
+  JobAggregate aggregate;
+  double seconds = 0.0;
+  std::size_t shards = 0;
+  std::size_t shard_size = 0;
+};
+
+struct SweepRunOptions {
+  /// Worker pool; nullptr runs shards inline (identical results).
+  ThreadPool* pool = nullptr;
+  /// Shard-size override: 0 defers to the spec, which defers to the
+  /// horizon-aware automatic size.
+  std::size_t shard_size = 0;
+  /// Stop after this many newly-run jobs (0 = run everything). The cut jobs
+  /// are reported as `pending`, which is what --resume later picks up.
+  std::size_t max_jobs = 0;
+  /// Streaming per-job callback, invoked in expansion order as each job
+  /// completes (progress lines, incremental emission, ...).
+  std::function<void(const JobOutcome&)> on_job;
+};
+
+struct SweepResult {
+  std::vector<JobOutcome> outcomes;  ///< Newly-run jobs, expansion order.
+  std::size_t skipped = 0;           ///< Jobs satisfied by `skip_keys`.
+  std::size_t pending = 0;           ///< Jobs cut by max_jobs.
+  /// Wall-clock seconds per policy spec across this run's jobs.
+  std::map<std::string, RunningStat> policy_seconds;
+};
+
+/// Runs one expanded job: builds the instance (and family when
+/// combinatorial), shards its replications, and aggregates at the job's
+/// checkpoint grid (`checkpoints` as in SweepSpec, 0 = dense).
+[[nodiscard]] JobOutcome run_sweep_job(const SweepJob& job,
+                                       std::size_t checkpoints,
+                                       const SweepRunOptions& options);
+
+/// Expands and runs the whole grid, skipping jobs whose key is in
+/// `skip_keys` (the resume set).
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
+                                    const SweepRunOptions& options,
+                                    const std::set<std::string>& skip_keys = {});
+
+}  // namespace ncb::exp

@@ -1,13 +1,16 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 
 namespace ncb {
 
-Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng) {
-  if (p < 0.0 || p > 1.0) throw std::invalid_argument("erdos_renyi: p outside [0,1]");
+namespace {
+
+Graph erdos_renyi_bernoulli(std::size_t n, double p, Xoshiro256& rng) {
   std::vector<Edge> edges;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -17,6 +20,52 @@ Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng) {
     }
   }
   return Graph::from_unique_edges(n, edges);
+}
+
+/// Batagelj–Brandes skip sampling: the strict upper triangle is a linear
+/// index space of n(n-1)/2 pairs; between consecutive edges the number of
+/// skipped non-edges is geometric, so the loop runs once per *edge*.
+Graph erdos_renyi_geometric(std::size_t n, double p, Xoshiro256& rng) {
+  if (n < 2 || p <= 0.0) return Graph(n);
+  if (p >= 1.0) return complete_graph(n);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  const double log_q = std::log1p(-p);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(total) * p * 1.05 + 16.0));
+  std::uint64_t pos = 0;       // next candidate pair, linear index
+  std::size_t row = 0;         // row `i` of the pair at row_start
+  std::uint64_t row_start = 0; // linear index of pair (row, row+1)
+  for (;;) {
+    // Skip ~ Geometric(p) failures before the next edge; u in (0, 1].
+    const double u = 1.0 - rng.uniform();
+    const double skip = std::floor(std::log(u) / log_q);
+    if (skip >= static_cast<double>(total - pos)) break;
+    pos += static_cast<std::uint64_t>(skip);
+    if (pos >= total) break;
+    while (pos >= row_start + (n - 1 - row)) {
+      row_start += n - 1 - row;
+      ++row;
+    }
+    const std::size_t col = row + 1 + static_cast<std::size_t>(pos - row_start);
+    edges.emplace_back(static_cast<ArmId>(row), static_cast<ArmId>(col));
+    if (++pos >= total) break;
+  }
+  return Graph::from_unique_edges(n, edges);
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng,
+                  ErSampling sampling) {
+  // Negated comparison also rejects NaN (all NaN comparisons are false).
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("erdos_renyi: p outside [0,1]");
+  }
+  return sampling == ErSampling::kGeometric
+             ? erdos_renyi_geometric(n, p, rng)
+             : erdos_renyi_bernoulli(n, p, rng);
 }
 
 Graph complete_graph(std::size_t n) {

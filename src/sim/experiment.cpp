@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/policy_factory.hpp"
+#include "exp/shard_scheduler.hpp"
 #include "graph/generators.hpp"
 
 namespace ncb {
@@ -85,7 +86,10 @@ ReplicatedResult run_single_experiment(const ExperimentConfig& config,
   options.master_seed = config.seed;
   options.runner.horizon = config.horizon;
   options.pool = pool;
-  return run_replicated_single(
+  // Sharded execution (exp/shard_scheduler.hpp): long horizons split into
+  // one-replication shards so the pool never starves, and the result is
+  // bit-identical whether `pool` is null, 1 thread, or 64.
+  return exp::run_sharded_single(
       [&](std::uint64_t seed) {
         return make_single_play_policy(policy_name, config.horizon, seed);
       },
@@ -103,7 +107,7 @@ ReplicatedResult run_combinatorial_experiment(const ExperimentConfig& config,
   options.master_seed = config.seed;
   options.runner.horizon = config.horizon;
   options.pool = pool;
-  return run_replicated_combinatorial(
+  return exp::run_sharded_combinatorial(
       [&](std::uint64_t seed) {
         return make_combinatorial_policy(policy_name, family, seed);
       },

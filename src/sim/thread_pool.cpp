@@ -1,6 +1,7 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <stdexcept>
 
@@ -36,6 +37,29 @@ void ThreadPool::submit(std::function<void()> task) {
     ++in_flight_;
   }
   work_available_.notify_one();
+}
+
+void ThreadPool::submit_bulk(std::size_t first, std::size_t last,
+                             std::function<void(std::size_t)> fn) {
+  if (first >= last) return;
+  if (!fn) throw std::invalid_argument("ThreadPool: null bulk task");
+  const auto shared_fn =
+      std::make_shared<const std::function<void(std::size_t)>>(std::move(fn));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      throw std::logic_error("ThreadPool: submit after shutdown");
+    }
+    for (std::size_t i = first; i < last; ++i) {
+      queue_.push([shared_fn, i] { (*shared_fn)(i); });
+      ++in_flight_;
+    }
+  }
+  if (last - first == 1) {
+    work_available_.notify_one();
+  } else {
+    work_available_.notify_all();
+  }
 }
 
 void ThreadPool::wait_idle() {

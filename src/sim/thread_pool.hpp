@@ -31,6 +31,13 @@ class ThreadPool {
   /// Enqueues a task. Must not be called after shutdown started.
   void submit(std::function<void()> task);
 
+  /// Enqueues `fn(i)` for every i in [first, last) under ONE lock acquisition
+  /// with ONE wake-up, so schedulers submitting thousands of fine-grained
+  /// shards do not serialize on per-task mutex churn. `fn` is shared across
+  /// the queued tasks (workers invoke it concurrently with distinct indices).
+  void submit_bulk(std::size_t first, std::size_t last,
+                   std::function<void(std::size_t)> fn);
+
   /// Blocks until every submitted task has completed. If any task threw,
   /// the first captured exception is rethrown here (the remaining tasks
   /// still ran to completion).

@@ -145,4 +145,12 @@ std::vector<std::uint64_t> derive_seeds(std::uint64_t master_seed,
   return seeds;
 }
 
+std::uint64_t derive_seed_at(std::uint64_t master_seed,
+                             std::uint64_t index) noexcept {
+  // SplitMix64's state after k draws is master + k * gamma, so the stream
+  // supports random access: jump the state, then mix once.
+  SplitMix64 mixer(master_seed + index * 0x9e3779b97f4a7c15ULL);
+  return mixer.next();
+}
+
 }  // namespace ncb

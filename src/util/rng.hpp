@@ -76,6 +76,13 @@ class Xoshiro256 {
 [[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::uint64_t master_seed,
                                                       std::size_t count);
 
+/// Counter-based access into the same stream: O(1) equivalent of
+/// `derive_seeds(master_seed, index + 1)[index]`. Lets a shard seed its
+/// replications without generating the whole seed prefix, so sharded and
+/// sequential drivers draw bit-identical per-replication streams.
+[[nodiscard]] std::uint64_t derive_seed_at(std::uint64_t master_seed,
+                                           std::uint64_t index) noexcept;
+
 /// Fisher-Yates shuffle of a vector using the given generator.
 template <typename T>
 void shuffle(std::vector<T>& v, Xoshiro256& rng) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <stdexcept>
 
 namespace ncb {
@@ -121,6 +122,50 @@ TEST(Generators, WattsStrogatzRewirePreservesEdgeCount) {
   const Graph g = watts_strogatz(30, 3, 0.5, rng);
   EXPECT_EQ(g.num_edges(), 90u);
   EXPECT_THROW(watts_strogatz(5, 3, 0.5, rng), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiBernoulliPathStillAvailable) {
+  // The legacy per-pair loop stays behind the flag for seed-compatibility:
+  // same seed + same method → same graph, and the two methods draw from
+  // the RNG differently (so they are distinct, equally valid G(n, p)).
+  Xoshiro256 a(5), b(5), c(5);
+  const Graph bern1 = erdos_renyi(40, 0.3, a, ErSampling::kBernoulli);
+  const Graph bern2 = erdos_renyi(40, 0.3, b, ErSampling::kBernoulli);
+  EXPECT_EQ(bern1.edges(), bern2.edges());
+  const Graph geom = erdos_renyi(40, 0.3, c, ErSampling::kGeometric);
+  EXPECT_NE(bern1.edges(), geom.edges());
+}
+
+TEST(Generators, ErdosRenyiGeometricExtremes) {
+  Xoshiro256 rng(1);
+  const Graph zero = erdos_renyi(20, 0.0, rng, ErSampling::kGeometric);
+  EXPECT_EQ(zero.num_edges(), 0u);
+  const Graph one = erdos_renyi(20, 1.0, rng, ErSampling::kGeometric);
+  EXPECT_EQ(one.num_edges(), 190u);
+  const Graph single = erdos_renyi(1, 0.5, rng, ErSampling::kGeometric);
+  EXPECT_EQ(single.num_edges(), 0u);
+  EXPECT_EQ(single.num_vertices(), 1u);
+}
+
+TEST(Generators, ErdosRenyiGeometricEdgesAreValidAndUnique) {
+  Xoshiro256 rng(23);
+  const Graph g = erdos_renyi(60, 0.25, rng, ErSampling::kGeometric);
+  std::set<Edge> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.first, e.second);
+    EXPECT_LT(static_cast<std::size_t>(e.second), 60u);
+    EXPECT_TRUE(seen.insert(e).second) << "duplicate edge";
+  }
+}
+
+TEST(Generators, ErdosRenyiGeometricSparseLargeK) {
+  // The skip sampler is O(E): a K = 5000, p = 0.002 graph draws ~25k
+  // geometric skips instead of 12.5M Bernoulli trials. Check the density
+  // lands near p (mean edges = p * K(K-1)/2 ≈ 24995, sd ≈ 158).
+  Xoshiro256 rng(31);
+  const Graph g = erdos_renyi(5000, 0.002, rng, ErSampling::kGeometric);
+  const double pairs = 5000.0 * 4999.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / pairs, 0.002, 0.0002);
 }
 
 // Parameterized density sweep: measured ER density tracks p across the grid.

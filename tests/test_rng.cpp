@@ -164,6 +164,18 @@ TEST(DeriveSeeds, Deterministic) {
   EXPECT_NE(derive_seeds(7, 10), derive_seeds(8, 10));
 }
 
+// The shard scheduler's counter-based access must reproduce the sequential
+// stream exactly — this pins sharded and unsharded drivers to identical
+// per-replication seeds.
+TEST(DeriveSeedAt, MatchesSequentialStream) {
+  for (const std::uint64_t master : {0ull, 7ull, 20170605ull, ~0ull}) {
+    const auto seeds = derive_seeds(master, 300);
+    for (const std::size_t i : {0u, 1u, 2u, 17u, 128u, 299u}) {
+      EXPECT_EQ(derive_seed_at(master, i), seeds[i]) << master << "/" << i;
+    }
+  }
+}
+
 TEST(Shuffle, ProducesPermutation) {
   Xoshiro256 rng(3);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};

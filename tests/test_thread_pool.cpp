@@ -125,5 +125,43 @@ TEST(ThreadPool, OnlyFirstExceptionKept) {
   pool.wait_idle();
 }
 
+TEST(ThreadPool, SubmitBulkRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.submit_bulk(0, 100, [&hits](std::size_t i) { ++hits[i]; });
+  pool.wait_idle();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitBulkSubrange) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.submit_bulk(10, 20, [&sum](std::size_t i) { sum += i; });
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, SubmitBulkEmptyRangeIsNoop) {
+  ThreadPool pool(1);
+  pool.submit_bulk(5, 5, [](std::size_t) { FAIL() << "must not run"; });
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, SubmitBulkNullTaskThrows) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit_bulk(0, 3, nullptr), std::invalid_argument);
+}
+
+TEST(ThreadPool, SubmitBulkExceptionPropagates) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit_bulk(0, 16, [&completed](std::size_t i) {
+    if (i == 7) throw std::runtime_error("shard boom");
+    ++completed;
+  });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);
+}
+
 }  // namespace
 }  // namespace ncb
