@@ -48,8 +48,13 @@ smoke() {
 }
 
 # Sweep engine smoke: a tiny 2-policy grid (K <= 50) must (a) produce
-# byte-identical JSON across thread counts and (b) round-trip through the
-# --max-jobs / --resume path to the exact bytes of an uninterrupted run.
+# byte-identical JSON across thread counts, (b) round-trip through the
+# --max-jobs / --resume path to the exact bytes of an uninterrupted run,
+# and (c) produce those same bytes from the distributed dispatch layer —
+# with 2 worker processes, and again while one worker is SIGKILLed mid-run
+# (the NCB_DIST_KILL_KEY crash injection; see src/dist/worker.hpp) so the
+# requeue path is exercised on every CI run. The fig3 paper grid then
+# repeats the 4-worker + kill comparison at full size.
 sweep_smoke() {
   local spec=build/sweep_smoke.spec
   cat > "$spec" <<'EOF'
@@ -72,6 +77,28 @@ EOF
       --threads 8 --resume
   cmp build/sweep_full.json build/sweep_resume.json
   echo "sweep smoke: resume round-trip byte-identical across 1/4/8 threads"
+
+  ./build/examples/ncb_sweep --spec "$spec" --out build/sweep_dist.json \
+      --workers 2
+  cmp build/sweep_full.json build/sweep_dist.json
+  NCB_DIST_KILL_KEY='sso:dfl-sso@er,K=50,p=0.3,n=400' \
+      ./build/examples/ncb_sweep --spec "$spec" \
+      --out build/sweep_dist_kill.json --workers 2 \
+      | tee build/sweep_dist_kill.log
+  # The injection must actually have fired (guards against key drift).
+  grep -q 'requeued 1 assignments' build/sweep_dist_kill.log
+  cmp build/sweep_full.json build/sweep_dist_kill.json
+  echo "sweep smoke: distributed (2 workers, incl. SIGKILLed worker) byte-identical"
+
+  ./build/examples/ncb_sweep --spec specs/fig3.sweep \
+      --out build/fig3_inproc.json
+  NCB_DIST_KILL_KEY='sso:moss@er,K=100,p=0.3,n=10000' \
+      ./build/examples/ncb_sweep --spec specs/fig3.sweep \
+      --out build/fig3_dist.json --workers 4 \
+      | tee build/fig3_dist.log
+  grep -q 'requeued 1 assignments' build/fig3_dist.log
+  cmp build/fig3_inproc.json build/fig3_dist.json
+  echo "sweep smoke: fig3 across 4 workers (one SIGKILLed) byte-identical"
 }
 
 asan() {
@@ -117,7 +144,7 @@ if [ "${1:-}" = "bench" ]; then
 else
   stage "tier-1" "tier-1: -Werror Release build + full test suite" tier1
   stage "smoke" "observe-path smoke: batched vs per-edge delivery must run" smoke
-  stage "sweep" "sweep engine smoke: resume round-trip + thread determinism" \
+  stage "sweep" "sweep smoke: resume + thread/worker determinism + kill-requeue" \
         sweep_smoke
   stage "asan" "sanitizers: ASan/UBSan build + test suite" asan
 fi

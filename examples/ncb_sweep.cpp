@@ -1,25 +1,39 @@
 // ncb_sweep — the sweep engine's CLI.
 //
 // Loads a declarative sweep spec (see specs/*.sweep and README "Running
-// sweeps"), expands the grid, runs every job as fine-grained shards on a
-// thread pool, and writes schema-versioned JSON (and optionally CSV). The
-// JSON output is bit-identical for any --threads / --shard-size choice, and
-// --resume re-runs only the grid points missing from a partial output file.
+// sweeps"), expands the grid, runs every job, and writes schema-versioned
+// JSON (and optionally CSV). Jobs run either as fine-grained shards on an
+// in-process thread pool, or — with --workers N — across N worker processes
+// coordinated over the src/dist/ protocol. The JSON output is bit-identical
+// for any --threads / --shard-size / --workers choice (even when a worker
+// is killed mid-sweep), and --resume re-runs only the grid points missing
+// from a partial output file. SIGINT/SIGTERM stop gracefully: completed
+// job records are flushed so the file stays valid for --resume.
 //
 // Usage:
 //   ncb_sweep --spec specs/fig3.sweep --out fig3.json [--csv fig3.csv]
-//             [--threads N] [--shard-size N] [--max-jobs N] [--resume]
-//             [--list] [--list-policies]
+//             [--threads N] [--shard-size N] [--max-jobs N] [--workers N]
+//             [--resume] [--dry-run] [--list] [--list-policies]
+#include <signal.h>
+
+#include <algorithm>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/policy_registry.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/process.hpp"
+#include "dist/worker.hpp"
 #include "exp/emitters.hpp"
+#include "exp/shard_scheduler.hpp"
 #include "exp/sweep_runner.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/arg_parse.hpp"
@@ -36,13 +50,74 @@ int usage(const char* program) {
          "  --spec <file>     sweep spec (key = value lines; see specs/)\n"
          "  --out <file>      JSON output (default: <spec name>.sweep.json)\n"
          "  --csv <file>      also emit a long-format CSV table\n"
-         "  --threads N       worker threads (0 = hardware, default)\n"
+         "  --threads N       worker threads: in-process pool size, or the\n"
+         "                    per-worker pool size with --workers\n"
+         "                    (0 = auto, default)\n"
          "  --shard-size N    fixed replications per shard (0 = auto)\n"
          "  --max-jobs N      run at most N pending jobs, then stop\n"
+         "  --workers N       dispatch jobs to N worker processes (0 = run\n"
+         "                    in-process, default); output is byte-identical\n"
+         "                    either way\n"
          "  --resume          keep finished jobs found in --out, run the rest\n"
+         "  --dry-run         print the expanded jobs with slot/shard\n"
+         "                    estimates (for sizing runs) and exit\n"
          "  --list            print the expanded job list and exit\n"
-         "  --list-policies   print the policy registry and exit\n";
+         "  --list-policies   print the policy registry and exit\n"
+         "(--worker-fd is internal: it turns this binary into a dispatch\n"
+         " worker on an inherited socket; the coordinator spawns these.)\n";
   return 2;
+}
+
+// SIGINT/SIGTERM request a graceful stop: the engine stops between jobs
+// (and between shards), completed records are already flushed, and the
+// final rewrite still runs — so the output is always resumable.
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+void install_stop_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: poll/read see EINTR promptly
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+/// --dry-run: the expanded grid with per-job cost estimates, nothing runs.
+int print_dry_run(const SweepSpec& spec, const std::vector<SweepJob>& jobs,
+                  const std::map<std::string, std::string>& done,
+                  std::size_t shard_size_override) {
+  const std::size_t shard_size =
+      shard_size_override != 0 ? shard_size_override : spec.shard_size;
+  std::cout << "sweep '" << spec.name << "': " << jobs.size()
+            << " jobs (dry run)\n";
+  unsigned long long total_slots = 0;
+  unsigned long long todo_slots = 0;
+  std::size_t todo_jobs = 0;
+  for (const SweepJob& job : jobs) {
+    const unsigned long long slots =
+        static_cast<unsigned long long>(job.config.replications) *
+        static_cast<unsigned long long>(job.config.horizon);
+    const ShardPlan plan =
+        plan_shards(job.config.replications, job.config.horizon, shard_size);
+    const bool finished = done.count(job.key) != 0;
+    total_slots += slots;
+    if (!finished) {
+      todo_slots += slots;
+      ++todo_jobs;
+    }
+    std::cout << "  [" << job.index << "] " << job.key << "\n        policy="
+              << job.policy << " K=" << job.config.num_arms
+              << " n=" << job.config.horizon
+              << " reps=" << job.config.replications << " slots=" << slots
+              << " shards=" << plan.num_shards() << "x" << plan.shard_size
+              << (finished ? "  [done]" : "") << '\n';
+  }
+  std::cout << "total: " << jobs.size() << " jobs / " << total_slots
+            << " slots; to run: " << todo_jobs << " jobs / " << todo_slots
+            << " slots\n";
+  return 0;
 }
 
 }  // namespace
@@ -51,6 +126,21 @@ int main(int argc, char** argv) {
   try {
     const ArgParse args(argc, argv);
     if (args.has("help")) return usage(args.program().c_str());
+
+    // Internal worker mode: exec'd by a coordinator with an inherited
+    // socket fd. Everything else in this file is coordinator/CLI-side.
+    if (args.has("worker-fd")) {
+      const auto fd = args.get_int("worker-fd", -1);
+      if (fd < 0) {
+        std::cerr << args.program() << ": error: bad --worker-fd\n";
+        return 2;
+      }
+      dist::WorkerOptions worker;
+      worker.fd = static_cast<int>(fd);
+      worker.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+      return dist::run_worker(worker);
+    }
+
     if (args.has("list-policies")) {
       std::cout << PolicyRegistry::instance().render_listing();
       return 0;
@@ -75,9 +165,11 @@ int main(int argc, char** argv) {
     const auto threads = args.get_int("threads", 0);
     const auto shard_size = args.get_int("shard-size", 0);
     const auto max_jobs = args.get_int("max-jobs", 0);
-    if (threads < 0 || shard_size < 0 || max_jobs < 0) {
+    const auto workers = args.get_int("workers", 0);
+    if (threads < 0 || shard_size < 0 || max_jobs < 0 || workers < 0) {
       std::cerr << args.program()
-                << ": error: --threads/--shard-size/--max-jobs must be >= 0\n";
+                << ": error: --threads/--shard-size/--max-jobs/--workers "
+                   "must be >= 0\n";
       return 2;
     }
 
@@ -119,17 +211,20 @@ int main(int argc, char** argv) {
                 << " jobs already done in " << out_path << '\n';
     }
 
-    ThreadPool pool(static_cast<std::size_t>(threads));
-    std::cout << "sweep '" << spec.name << "': " << jobs.size() << " jobs, "
-              << pool.num_threads() << " threads\n";
+    if (args.has("dry-run")) {
+      return print_dry_run(spec, jobs, done,
+                           static_cast<std::size_t>(shard_size));
+    }
+
+    install_stop_handlers();
 
     std::set<std::string> skip;
     for (const auto& [key, line] : done) skip.insert(key);
 
     // Incremental checkpoint: header + already-done jobs up front, then one
-    // appended line per finished job (O(total size) I/O). A crash leaves a
-    // footer-less file load_job_lines can still scan; the happy path ends
-    // with one atomic, expansion-ordered rewrite below.
+    // appended line per finished job (O(total size) I/O). A crash or an
+    // interrupt leaves a footer-less file load_job_lines can still scan;
+    // the happy path ends with one atomic, expansion-ordered rewrite below.
     std::ofstream checkpoint(out_path, std::ios::binary | std::ios::trunc);
     if (!checkpoint) {
       throw std::runtime_error("cannot open '" + out_path + "' for write");
@@ -142,30 +237,100 @@ int main(int argc, char** argv) {
     checkpoint.flush();
 
     Timer timer;
-    SweepRunOptions options;
-    options.pool = &pool;
-    options.shard_size = static_cast<std::size_t>(shard_size);
-    options.max_jobs = static_cast<std::size_t>(max_jobs);
     std::size_t launched = 0;
+    std::size_t skipped = 0;
+    std::size_t pending = 0;
+    bool interrupted = false;
+    std::map<std::string, RunningStat> policy_seconds;
     std::map<std::string, JobRecord> fresh;
-    options.on_job = [&](const JobOutcome& outcome) {
+
+    // The one place the checkpoint-file record discipline lives: one JSON
+    // line + ",\n", flushed, so a crash/interrupt only ever truncates at a
+    // record boundary — both execution paths feed through here.
+    const auto record_done = [&](const std::string& key, std::string line,
+                                 JobRecord record) {
       ++launched;
-      std::cout << "  [" << outcome.job.index + 1 << "/" << jobs.size()
-                << "] " << outcome.job.key << "  reps="
-                << outcome.aggregate.replications() << " shards="
-                << outcome.shards << "x" << outcome.shard_size
-                << "  final=" << outcome.aggregate.final_cumulative().mean()
-                << "  " << outcome.seconds << "s\n";
-      JobRecord record = JobRecord::from(outcome.job, outcome.aggregate);
-      done[outcome.job.key] = render_job_json(record);
-      checkpoint << done[outcome.job.key] << ",\n" << std::flush;
-      fresh.emplace(outcome.job.key, std::move(record));
+      checkpoint << line << ",\n" << std::flush;
+      done[key] = std::move(line);
+      fresh.emplace(key, std::move(record));
     };
-    const SweepResult result = run_sweep(spec, options, skip);
+
+    if (workers > 0) {
+      // Distributed path: spawn worker processes of this binary and stream
+      // their deterministic record lines into the same checkpoint file.
+      const std::size_t hardware =
+          std::max(1u, std::thread::hardware_concurrency());
+      const std::size_t per_worker =
+          threads > 0 ? static_cast<std::size_t>(threads)
+                      : std::max<std::size_t>(
+                            1, hardware / static_cast<std::size_t>(workers));
+      dist::CoordinatorOptions dist_options;
+      dist_options.workers = static_cast<std::size_t>(workers);
+      dist_options.worker_command = {dist::self_exe_path(args.program()),
+                                     "--threads",
+                                     std::to_string(per_worker)};
+      dist_options.checkpoints = spec.checkpoints;
+      dist_options.shard_size = static_cast<std::size_t>(shard_size) != 0
+                                    ? static_cast<std::size_t>(shard_size)
+                                    : spec.shard_size;
+      dist_options.max_jobs = static_cast<std::size_t>(max_jobs);
+      dist_options.should_stop = [] { return g_stop != 0; };
+      dist_options.on_result = [&](const dist::DistJobResult& result) {
+        JobRecord record = parse_job_json(result.record_line);
+        std::cout << "  [" << result.job->index + 1 << "/" << jobs.size()
+                  << "] " << result.job->key << "  reps="
+                  << record.replications << " shards=" << result.shards << "x"
+                  << result.shard_size << "  final=" << record.final_mean
+                  << "  " << result.seconds << "s  (worker " << result.worker
+                  << (result.attempts > 1
+                          ? ", attempt " + std::to_string(result.attempts)
+                          : "")
+                  << ")\n";
+        record_done(result.job->key, result.record_line, std::move(record));
+      };
+      std::cout << "sweep '" << spec.name << "': " << jobs.size() << " jobs, "
+                << workers << " workers x " << per_worker << " threads\n";
+      const dist::DistSweepSummary summary =
+          dist::run_distributed_sweep(jobs, dist_options, skip);
+      skipped = summary.skipped;
+      pending = summary.pending;
+      interrupted = summary.interrupted;
+      policy_seconds = summary.policy_seconds;
+      if (summary.requeues > 0) {
+        std::cout << "(requeued " << summary.requeues
+                  << " assignments after worker loss — output unaffected)\n";
+      }
+    } else {
+      ThreadPool pool(static_cast<std::size_t>(threads));
+      std::cout << "sweep '" << spec.name << "': " << jobs.size() << " jobs, "
+                << pool.num_threads() << " threads\n";
+      SweepRunOptions options;
+      options.pool = &pool;
+      options.shard_size = static_cast<std::size_t>(shard_size);
+      options.max_jobs = static_cast<std::size_t>(max_jobs);
+      options.should_stop = [] { return g_stop != 0; };
+      options.on_job = [&](const JobOutcome& outcome) {
+        std::cout << "  [" << outcome.job.index + 1 << "/" << jobs.size()
+                  << "] " << outcome.job.key << "  reps="
+                  << outcome.aggregate.replications() << " shards="
+                  << outcome.shards << "x" << outcome.shard_size
+                  << "  final=" << outcome.aggregate.final_cumulative().mean()
+                  << "  " << outcome.seconds << "s\n";
+        JobRecord record = JobRecord::from(outcome.job, outcome.aggregate);
+        std::string line = render_job_json(record);
+        record_done(outcome.job.key, std::move(line), std::move(record));
+      };
+      const SweepResult result = run_sweep(spec, options, skip);
+      skipped = result.skipped;
+      pending = result.pending;
+      interrupted = result.interrupted;
+      policy_seconds = result.policy_seconds;
+    }
     checkpoint.close();
 
-    // Final rewrite: jobs in expansion order regardless of which run
-    // produced them, so partial + resume equals one full run byte-for-byte.
+    // Final rewrite: jobs in expansion order regardless of which run (or
+    // which worker) produced them, so partial + resume — and any worker
+    // count — equals one full run byte-for-byte.
     std::vector<std::string> lines;
     for (const SweepJob& job : jobs) {
       const auto it = done.find(job.key);
@@ -189,20 +354,25 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << csv_path << '\n';
     }
 
-    if (!result.policy_seconds.empty()) {
+    if (!policy_seconds.empty()) {
       std::cout << "per-policy timing (this run):\n";
-      for (const auto& [policy, stat] : result.policy_seconds) {
+      for (const auto& [policy, stat] : policy_seconds) {
         std::cout << "  " << policy << ": " << stat.count() << " jobs, mean "
                   << stat.mean() << "s, total "
                   << stat.mean() * static_cast<double>(stat.count()) << "s\n";
       }
     }
-    if (result.pending > 0) {
-      std::cout << "partial: " << result.pending
+    if (pending > 0) {
+      std::cout << "partial: " << pending
                 << " jobs still pending (rerun with --resume)\n";
     }
-    std::cout << "ran " << launched << " jobs (skipped " << result.skipped
-              << ") in " << timer.elapsed_seconds() << "s\n";
+    std::cout << "ran " << launched << " jobs (skipped " << skipped << ") in "
+              << timer.elapsed_seconds() << "s\n";
+    if (interrupted) {
+      std::cout << "interrupted: completed records were flushed; rerun with "
+                   "--resume to finish\n";
+      return 130;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << (argc > 0 ? argv[0] : "ncb_sweep") << ": error: " << e.what()

@@ -1,0 +1,313 @@
+#include "dist/coordinator.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "dist/process.hpp"
+#include "dist/protocol.hpp"
+#include "exp/emitters.hpp"
+
+namespace ncb::dist {
+
+namespace {
+
+struct Slot {
+  WorkerProcess proc;
+  FrameDecoder decoder;
+  std::size_t id = 0;  ///< Stable spawn-order id (display only).
+  bool handshaken = false;
+  bool shutdown_sent = false;
+  std::ptrdiff_t job = -1;  ///< Index into the jobs vector, -1 when idle.
+};
+
+class Coordinator {
+ public:
+  Coordinator(const std::vector<exp::SweepJob>& jobs,
+              const CoordinatorOptions& options,
+              const std::set<std::string>& skip_keys)
+      : jobs_(jobs), options_(options), attempts_(jobs.size(), 0) {
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (skip_keys.count(jobs_[i].key)) {
+        ++summary_.skipped;
+      } else if (options_.max_jobs != 0 && queued_ >= options_.max_jobs) {
+        ++summary_.pending;
+      } else {
+        queue_.push_back(i);
+        ++queued_;
+      }
+    }
+  }
+
+  // abort_run throws deliberately, but exceptions can also escape from
+  // elsewhere (spawn failure, a throwing on_result callback). Whatever the
+  // exit path, no worker process may outlive the coordinator un-reaped.
+  ~Coordinator() { kill_and_reap_all(); }
+
+  DistSweepSummary run() {
+    if (queue_.empty()) return std::move(summary_);
+    const std::size_t fleet =
+        std::max<std::size_t>(1, std::min(options_.workers, queue_.size()));
+    for (std::size_t i = 0; i < fleet; ++i) spawn_one();
+
+    while (live_ > 0) {
+      if (!stopping_ && options_.should_stop && options_.should_stop()) {
+        stopping_ = true;
+        // Idle workers have nothing to drain — release them now.
+        for (Slot& slot : slots_) {
+          if (slot.proc.fd >= 0 && slot.handshaken && slot.job < 0) {
+            send_shutdown(slot);
+          }
+        }
+      }
+      poll_once();
+    }
+
+    summary_.pending += queue_.size();
+    summary_.interrupted = stopping_;
+    return std::move(summary_);
+  }
+
+ private:
+  // slots_ is a deque so spawning a replacement never invalidates the Slot
+  // references held further up the call stack (read_ready/handle_frame).
+  void spawn_one() {
+    Slot slot;
+    slot.id = next_id_++;
+    slot.proc = spawn_worker(options_.worker_command);
+    slots_.push_back(std::move(slot));
+    ++live_;
+  }
+
+  void kill_and_reap_all() {
+    for (Slot& slot : slots_) {
+      if (slot.proc.fd < 0) continue;
+      kill_worker(slot.proc.pid, SIGKILL);
+      ::close(slot.proc.fd);
+      slot.proc.fd = -1;
+      reap_worker(slot.proc.pid);
+      --live_;
+    }
+  }
+
+  [[noreturn]] void abort_run(const std::string& message) {
+    kill_and_reap_all();
+    throw std::runtime_error(message);
+  }
+
+  void send_shutdown(Slot& slot) {
+    if (slot.shutdown_sent) return;
+    slot.shutdown_sent = true;
+    try {
+      write_frame(slot.proc.fd, MsgType::kShutdown, "");
+    } catch (const std::exception&) {
+      worker_died(slot);
+    }
+  }
+
+  /// Hands the next queued job to an idle, handshaken worker — or a
+  /// Shutdown when there is nothing left for it to do.
+  void dispatch(Slot& slot) {
+    if (slot.proc.fd < 0 || !slot.handshaken || slot.job >= 0 ||
+        slot.shutdown_sent) {
+      return;
+    }
+    if (stopping_ || queue_.empty()) {
+      send_shutdown(slot);
+      return;
+    }
+    const std::size_t index = queue_.front();
+    queue_.pop_front();
+    slot.job = static_cast<std::ptrdiff_t>(index);
+    JobAssignMsg assign;
+    assign.attempt = static_cast<std::uint32_t>(attempts_[index] + 1);
+    assign.checkpoints = options_.checkpoints;
+    assign.shard_size = options_.shard_size;
+    assign.job = jobs_[index];
+    try {
+      write_frame(slot.proc.fd, MsgType::kJobAssign,
+                  encode_job_assign(assign));
+    } catch (const std::exception&) {
+      worker_died(slot);  // requeues the job we just marked in-flight
+    }
+  }
+
+  void worker_died(Slot& slot) {
+    if (slot.proc.fd < 0) return;
+    ::close(slot.proc.fd);
+    slot.proc.fd = -1;
+    reap_worker(slot.proc.pid);
+    --live_;
+
+    if (slot.job >= 0) {
+      const std::size_t index = static_cast<std::size_t>(slot.job);
+      slot.job = -1;
+      ++attempts_[index];
+      if (!stopping_ && attempts_[index] >= options_.max_attempts) {
+        abort_run("job '" + jobs_[index].key + "' crashed its worker " +
+                  std::to_string(attempts_[index]) +
+                  " times — aborting (results so far are resumable)");
+      }
+      // Requeue at the front with the job's original seed counter: the
+      // retry recomputes bit-identical records, so the merged output does
+      // not depend on the crash at all.
+      queue_.push_front(index);
+      if (!stopping_) ++summary_.requeues;
+    } else if (!slot.handshaken) {
+      // Death before Hello: exec failure or an incompatible binary. A
+      // bounded budget stops a respawn storm when workers can never start.
+      if (++prelaunch_deaths_ > options_.workers + 2) {
+        abort_run(
+            "workers keep exiting before the handshake — is the worker "
+            "binary runnable?");
+      }
+    }
+
+    if (!stopping_) {
+      const std::size_t wanted =
+          std::min(options_.workers, queue_.size() + in_flight());
+      while (live_ < wanted) spawn_one();
+    }
+  }
+
+  [[nodiscard]] std::size_t in_flight() const {
+    std::size_t n = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.proc.fd >= 0 && slot.job >= 0) ++n;
+    }
+    return n;
+  }
+
+  void handle_frame(Slot& slot, const Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kHello: {
+        const HelloMsg hello = decode_hello(frame.payload);
+        const auto mismatch = validate_hello(
+            hello, static_cast<std::uint32_t>(exp::kSweepSchemaVersion));
+        if (mismatch) abort_run(*mismatch);
+        slot.handshaken = true;
+        try {
+          write_frame(slot.proc.fd, MsgType::kHelloAck, encode_hello_ack());
+        } catch (const std::exception&) {
+          worker_died(slot);
+          return;
+        }
+        dispatch(slot);
+        return;
+      }
+      case MsgType::kJobResult: {
+        const JobResultMsg result = decode_job_result(frame.payload);
+        if (slot.job < 0 ||
+            jobs_[static_cast<std::size_t>(slot.job)].key != result.key) {
+          abort_run("protocol violation: result for '" + result.key +
+                    "' does not match the worker's assignment");
+        }
+        const std::size_t index = static_cast<std::size_t>(slot.job);
+        slot.job = -1;
+        DistJobResult done;
+        done.job = &jobs_[index];
+        done.record_line = result.record_line;
+        done.seconds = result.seconds;
+        done.shards = static_cast<std::size_t>(result.shards);
+        done.shard_size = static_cast<std::size_t>(result.shard_size);
+        done.worker = slot.id;
+        done.attempts = attempts_[index] + 1;
+        summary_.policy_seconds[jobs_[index].policy].add(result.seconds);
+        if (options_.on_result) options_.on_result(done);
+        summary_.results.emplace(jobs_[index].key, std::move(done));
+        dispatch(slot);
+        return;
+      }
+      case MsgType::kWorkerError: {
+        const WorkerErrorMsg error = decode_worker_error(frame.payload);
+        abort_run("worker failed on job '" + error.key +
+                  "': " + error.message);
+      }
+      default:
+        abort_run("protocol violation: unexpected frame type " +
+                  std::to_string(static_cast<int>(frame.type)) +
+                  " from a worker");
+    }
+  }
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owners;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].proc.fd < 0) continue;
+      fds.push_back(pollfd{slots_[i].proc.fd, POLLIN, 0});
+      owners.push_back(i);
+    }
+    if (fds.empty()) return;
+    // Finite timeout so should_stop (a signal flag) is noticed even while
+    // every worker is deep in a long job.
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0) {
+      if (errno == EINTR) return;  // signal → should_stop check next round
+      abort_run(std::string("poll failed: ") + std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      Slot& slot = slots_[owners[i]];
+      if (slot.proc.fd < 0) continue;  // died while handling a sibling
+      read_ready(slot);
+    }
+  }
+
+  void read_ready(Slot& slot) {
+    char buf[65536];
+    const ssize_t n = ::read(slot.proc.fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) return;
+      worker_died(slot);
+      return;
+    }
+    if (n == 0) {
+      worker_died(slot);
+      return;
+    }
+    try {
+      slot.decoder.feed(buf, static_cast<std::size_t>(n));
+      while (true) {
+        const auto frame = slot.decoder.next();
+        if (!frame) break;
+        handle_frame(slot, *frame);
+        if (slot.proc.fd < 0) break;
+      }
+    } catch (const std::invalid_argument& e) {
+      abort_run(std::string("malformed frame from worker: ") + e.what());
+    }
+  }
+
+  const std::vector<exp::SweepJob>& jobs_;
+  const CoordinatorOptions& options_;
+  std::vector<std::size_t> attempts_;
+  std::deque<std::size_t> queue_;
+  std::deque<Slot> slots_;
+  DistSweepSummary summary_;
+  std::size_t queued_ = 0;
+  std::size_t live_ = 0;
+  std::size_t next_id_ = 0;
+  std::size_t prelaunch_deaths_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace
+
+DistSweepSummary run_distributed_sweep(const std::vector<exp::SweepJob>& jobs,
+                                       const CoordinatorOptions& options,
+                                       const std::set<std::string>& skip_keys) {
+  if (options.worker_command.empty()) {
+    throw std::invalid_argument("run_distributed_sweep: no worker command");
+  }
+  Coordinator coordinator(jobs, options, skip_keys);
+  return coordinator.run();
+}
+
+}  // namespace ncb::dist

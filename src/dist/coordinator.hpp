@@ -1,0 +1,78 @@
+// The coordinator end of the dispatch protocol: expand-once, pull-based
+// job dispatch over a fleet of local worker processes, with crash requeue.
+//
+// Dispatch is demand-driven (the idle worker gets the next job), so fast
+// workers naturally take more of the grid — work stealing without a shared
+// queue. Determinism is never entrusted to scheduling: every job's
+// replications derive counter-based seeds from the job's own spec
+// coordinates, so a job computes the same bytes on any worker and any
+// attempt, and the caller merges record lines in canonical expansion order.
+// A worker lost mid-job (crash, SIGKILL) is reaped, its job is requeued at
+// the front with its original seed counter, and a replacement process is
+// spawned — the merged output is byte-identical to an undisturbed run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_spec.hpp"
+#include "util/running_stat.hpp"
+
+namespace ncb::dist {
+
+/// One job completed by a worker. `record_line` is the deterministic
+/// artifact; everything else is execution metadata for stdout only.
+struct DistJobResult {
+  const exp::SweepJob* job = nullptr;  ///< Into the jobs vector passed in.
+  std::string record_line;
+  double seconds = 0.0;
+  std::size_t shards = 0;
+  std::size_t shard_size = 0;
+  std::size_t worker = 0;    ///< Worker slot that ran it (display only).
+  std::size_t attempts = 1;  ///< 1 + crash requeues.
+};
+
+struct CoordinatorOptions {
+  /// Worker process count (capped at the eligible job count).
+  std::size_t workers = 2;
+  /// argv to exec for each worker; spawn_worker appends `--worker-fd <n>`.
+  std::vector<std::string> worker_command;
+  /// Per-job checkpoint count (SweepSpec::checkpoints).
+  std::size_t checkpoints = 30;
+  /// Shard-size override forwarded to workers (0 = horizon-aware auto).
+  std::size_t shard_size = 0;
+  /// Dispatch at most this many jobs (0 = all); the rest report pending.
+  std::size_t max_jobs = 0;
+  /// A job that crashes its worker this many times aborts the sweep —
+  /// the crash is then the job's fault, not a lost worker's.
+  std::size_t max_attempts = 3;
+  /// Streaming callback in completion order (NOT expansion order — merge
+  /// deterministically from `results` afterwards).
+  std::function<void(const DistJobResult&)> on_result;
+  /// Cooperative stop (e.g. a SIGINT flag): no new assignments, in-flight
+  /// jobs drain and still count as done, the rest report pending.
+  std::function<bool()> should_stop;
+};
+
+struct DistSweepSummary {
+  std::map<std::string, DistJobResult> results;  ///< By job key.
+  std::size_t skipped = 0;   ///< Jobs satisfied by skip_keys.
+  std::size_t pending = 0;   ///< Jobs cut by max_jobs or should_stop.
+  std::size_t requeues = 0;  ///< Crash-requeued assignments.
+  bool interrupted = false;  ///< should_stop fired mid-sweep.
+  /// Worker wall-clock seconds per policy spec (display only).
+  std::map<std::string, RunningStat> policy_seconds;
+};
+
+/// Runs `jobs` minus `skip_keys` across worker processes and collects one
+/// record line per job. Throws std::runtime_error when a worker reports a
+/// job error, a job exhausts max_attempts, or the fleet dies during
+/// handshake; workers are killed and reaped before the throw.
+[[nodiscard]] DistSweepSummary run_distributed_sweep(
+    const std::vector<exp::SweepJob>& jobs, const CoordinatorOptions& options,
+    const std::set<std::string>& skip_keys = {});
+
+}  // namespace ncb::dist

@@ -1,0 +1,171 @@
+// Wire protocol for the distributed sweep dispatch layer.
+//
+// Everything between a coordinator and a worker travels as length-prefixed
+// frames over a byte stream (a socketpair today; the framing never assumes
+// more than an ordered stream, so any future transport — TCP, ssh pipes —
+// reuses it unchanged):
+//
+//     u32 payload-length (LE) | u8 message-type | payload bytes
+//
+// The first frame in each direction is a versioned handshake (Hello /
+// HelloAck); mismatched protocol or sweep-schema versions abort the run
+// with a clear error instead of misinterpreting bytes. Payloads are packed
+// with WireWriter/WireReader (fixed-width LE integers, bit-cast doubles,
+// u32-length-prefixed strings); every decoder validates lengths, so
+// truncated or oversized frames are rejected, never trusted.
+//
+// Determinism note: a JobAssign carries the job's original spec coordinates
+// (including its seed), and replications derive counter-based seeds from
+// those — so a job produces bit-identical results on any worker, on any
+// attempt, which is what lets a crash-requeued job merge byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "exp/sweep_spec.hpp"
+
+namespace ncb::dist {
+
+/// The peer disappeared (EPIPE/ECONNRESET on write). Distinct from other
+/// I/O failures so a worker can treat a vanished coordinator as a clean
+/// shutdown in every race ordering.
+class PeerClosedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// First payload word of a Hello frame; guards against a non-worker process
+/// accidentally connected to the coordinator fd.
+inline constexpr std::uint32_t kProtocolMagic = 0x4e434250;  // "NCBP"
+/// Bump on any framing or payload layout change.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on a frame payload; a corrupted length prefix fails fast
+/// instead of attempting a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,        ///< worker → coordinator: magic + versions.
+  kHelloAck = 2,     ///< coordinator → worker: protocol version echo.
+  kJobAssign = 3,    ///< coordinator → worker: one SweepJob + run options.
+  kJobResult = 4,    ///< worker → coordinator: rendered job record.
+  kWorkerError = 5,  ///< worker → coordinator: fatal job/protocol error.
+  kShutdown = 6,     ///< coordinator → worker: drain and exit 0.
+};
+
+struct Frame {
+  MsgType type = MsgType::kShutdown;
+  std::string payload;
+};
+
+// ------------------------------------------------------------ payloads ---
+
+/// Little-endian payload packer. Strings are u32-length-prefixed.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_double(double v);  ///< IEEE-754 bit pattern as u64 (exact).
+  void put_string(const std::string& s);
+
+  [[nodiscard]] std::string take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked payload unpacker; throws std::invalid_argument on any
+/// truncation or over-long string, and finish() rejects trailing bytes.
+class WireReader {
+ public:
+  explicit WireReader(const std::string& payload) : payload_(payload) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_double();
+  [[nodiscard]] std::string get_string();
+  /// Throws when decoded messages leave unread payload behind.
+  void finish() const;
+
+ private:
+  const std::string& payload_;
+  std::size_t at_ = 0;
+};
+
+struct HelloMsg {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint32_t sweep_schema = 0;  ///< exp::kSweepSchemaVersion of the worker.
+};
+
+struct JobAssignMsg {
+  std::uint32_t attempt = 1;    ///< 1-based; > 1 means crash-requeued.
+  std::uint64_t checkpoints = 0;
+  std::uint64_t shard_size = 0;
+  exp::SweepJob job;
+};
+
+struct JobResultMsg {
+  std::string key;
+  std::string record_line;  ///< render_job_json output (deterministic bytes).
+  double seconds = 0.0;
+  std::uint64_t shards = 0;
+  std::uint64_t shard_size = 0;
+};
+
+struct WorkerErrorMsg {
+  std::string key;  ///< Empty when not tied to a job.
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_hello(const HelloMsg& msg);
+[[nodiscard]] HelloMsg decode_hello(const std::string& payload);
+/// Empty optional when the hello is acceptable; otherwise a human-readable
+/// mismatch description (magic / protocol version / sweep schema).
+[[nodiscard]] std::optional<std::string> validate_hello(
+    const HelloMsg& msg, std::uint32_t expected_schema);
+
+[[nodiscard]] std::string encode_hello_ack();
+/// Throws std::invalid_argument on a version mismatch.
+void decode_hello_ack(const std::string& payload);
+
+[[nodiscard]] std::string encode_job_assign(const JobAssignMsg& msg);
+[[nodiscard]] JobAssignMsg decode_job_assign(const std::string& payload);
+
+[[nodiscard]] std::string encode_job_result(const JobResultMsg& msg);
+[[nodiscard]] JobResultMsg decode_job_result(const std::string& payload);
+
+[[nodiscard]] std::string encode_worker_error(const WorkerErrorMsg& msg);
+[[nodiscard]] WorkerErrorMsg decode_worker_error(const std::string& payload);
+
+// ------------------------------------------------------------- framing ---
+
+/// Incremental frame assembler for the coordinator's poll loop: feed()
+/// whatever recv() produced, then drain next() until it returns nullopt.
+/// Throws std::invalid_argument on an oversized length prefix or an unknown
+/// message type (the stream is unrecoverable after either).
+class FrameDecoder {
+ public:
+  void feed(const char* data, std::size_t size);
+  [[nodiscard]] std::optional<Frame> next();
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+/// Blocking frame write, restarted across EINTR/short writes. Uses
+/// send(MSG_NOSIGNAL) on sockets (a dead peer yields EPIPE, not SIGPIPE)
+/// and write() on other fds. Throws std::runtime_error on I/O failure.
+void write_frame(int fd, MsgType type, const std::string& payload);
+
+/// Blocking frame read. Returns nullopt on clean EOF at a frame boundary;
+/// throws std::runtime_error on EOF mid-frame or I/O errors and
+/// std::invalid_argument on oversized frames or unknown types.
+[[nodiscard]] std::optional<Frame> read_frame(int fd);
+
+}  // namespace ncb::dist

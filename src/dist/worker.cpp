@@ -1,0 +1,113 @@
+#include "dist/worker.hpp"
+
+#include <signal.h>
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <optional>
+
+#include "dist/protocol.hpp"
+#include "exp/emitters.hpp"
+#include "exp/sweep_runner.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace ncb::dist {
+
+namespace {
+
+/// See the crash-injection note in worker.hpp.
+void maybe_inject_crash(const JobAssignMsg& msg) {
+  const char* kill_key = std::getenv("NCB_DIST_KILL_KEY");
+  if (kill_key != nullptr && msg.attempt == 1 && msg.job.key == kill_key) {
+    ::raise(SIGKILL);
+  }
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  ::signal(SIGINT, SIG_IGN);  // the coordinator owns interrupt handling
+
+  HelloMsg hello;
+  hello.sweep_schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
+  try {
+    write_frame(options.fd, MsgType::kHello, encode_hello(hello));
+    const std::optional<Frame> ack = read_frame(options.fd);
+    if (!ack) return 0;  // coordinator vanished before the handshake
+    if (ack->type != MsgType::kHelloAck) {
+      std::cerr << "ncb_sweep worker: expected HelloAck, got type "
+                << static_cast<int>(ack->type) << '\n';
+      return 2;
+    }
+    decode_hello_ack(ack->payload);
+  } catch (const PeerClosedError&) {
+    return 0;  // coordinator vanished mid-handshake — nothing was lost
+  } catch (const std::exception& e) {
+    std::cerr << "ncb_sweep worker: handshake failed: " << e.what() << '\n';
+    return 2;
+  }
+
+  ThreadPool pool(options.threads);
+  exp::InstanceCache cache;  // reused across this worker's assignments
+  while (true) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(options.fd);
+    } catch (const std::exception& e) {
+      std::cerr << "ncb_sweep worker: read failed: " << e.what() << '\n';
+      return 2;
+    }
+    if (!frame || frame->type == MsgType::kShutdown) return 0;
+    if (frame->type != MsgType::kJobAssign) {
+      std::cerr << "ncb_sweep worker: unexpected frame type "
+                << static_cast<int>(frame->type) << '\n';
+      return 2;
+    }
+
+    JobAssignMsg assign;
+    std::string error;
+    try {
+      assign = decode_job_assign(frame->payload);
+      maybe_inject_crash(assign);
+
+      exp::SweepRunOptions run_options;
+      run_options.pool = &pool;
+      run_options.shard_size = static_cast<std::size_t>(assign.shard_size);
+      run_options.instance_cache = &cache;
+      const exp::JobOutcome outcome = exp::run_sweep_job(
+          assign.job, static_cast<std::size_t>(assign.checkpoints),
+          run_options);
+
+      JobResultMsg result;
+      result.key = assign.job.key;
+      result.record_line = exp::render_job_json(
+          exp::JobRecord::from(outcome.job, outcome.aggregate));
+      result.seconds = outcome.seconds;
+      result.shards = outcome.shards;
+      result.shard_size = outcome.shard_size;
+      write_frame(options.fd, MsgType::kJobResult, encode_job_result(result));
+      continue;
+    } catch (const PeerClosedError&) {
+      return 0;  // coordinator gone; it will requeue the job elsewhere
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+
+    // A failed job (unknown policy, bad config, ...) is fatal for the whole
+    // sweep — report it so the coordinator aborts with the real message
+    // instead of requeueing a job that can never succeed.
+    try {
+      WorkerErrorMsg report;
+      report.key = assign.job.key;
+      report.message = error;
+      write_frame(options.fd, MsgType::kWorkerError,
+                  encode_worker_error(report));
+    } catch (const std::exception&) {
+      // Coordinator already gone; the exit code still says "error".
+    }
+    return 1;
+  }
+}
+
+}  // namespace ncb::dist

@@ -1,0 +1,32 @@
+// The worker end of the dispatch protocol: handshake, then a job loop that
+// runs each assigned SweepJob through the in-process sweep engine and ships
+// the rendered record back. The loop is transport-agnostic — it only ever
+// sees a connected stream fd — so the same worker serves a future remote
+// transport unchanged.
+#pragma once
+
+#include <cstddef>
+
+namespace ncb::dist {
+
+struct WorkerOptions {
+  int fd = -1;            ///< Connected stream to the coordinator.
+  std::size_t threads = 0;  ///< Shard pool size (0 = hardware concurrency).
+};
+
+/// Runs the worker loop until Shutdown or coordinator EOF. Returns a process
+/// exit code: 0 on a clean drain, 2 on handshake/protocol failure, 1 after
+/// reporting a job error.
+///
+/// Signals: SIGINT is ignored — a ^C lands on the whole foreground process
+/// group, and the coordinator (which did not ignore it) drives the graceful
+/// stop: workers finish their in-flight job, deliver it, and get a Shutdown.
+///
+/// Crash injection (tests/CI only): when the environment variable
+/// NCB_DIST_KILL_KEY equals the assigned job's key and the assignment is the
+/// job's first attempt, the worker raises SIGKILL instead of running it —
+/// a deterministic stand-in for a worker lost mid-job, exercising the
+/// coordinator's requeue path.
+[[nodiscard]] int run_worker(const WorkerOptions& options);
+
+}  // namespace ncb::dist

@@ -3,13 +3,18 @@
 namespace ncb {
 
 Environment::Environment(BanditInstance instance, std::uint64_t seed)
+    : Environment(std::make_shared<const BanditInstance>(std::move(instance)),
+                  seed) {}
+
+Environment::Environment(std::shared_ptr<const BanditInstance> instance,
+                         std::uint64_t seed)
     : instance_(std::move(instance)),
       rng_(seed),
-      rewards_(instance_.num_arms(), 0.0) {}
+      rewards_(instance_->num_arms(), 0.0) {}
 
 const std::vector<double>& Environment::advance() {
   for (std::size_t i = 0; i < rewards_.size(); ++i) {
-    rewards_[i] = instance_.arm(static_cast<ArmId>(i)).sample(rng_);
+    rewards_[i] = instance_->arm(static_cast<ArmId>(i)).sample(rng_);
   }
   ++slot_;
   return rewards_;

@@ -4,6 +4,7 @@
 // its scenario legitimately observes.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "env/instance.hpp"
@@ -14,9 +15,16 @@ namespace ncb {
 
 class Environment {
  public:
-  /// Copies the instance; the environment owns its RNG stream so replications
-  /// with distinct seeds are independent.
+  /// Takes the instance by value; the environment owns its RNG stream so
+  /// replications with distinct seeds are independent.
   Environment(BanditInstance instance, std::uint64_t seed);
+
+  /// Shares an immutable instance instead of copying it — replications of
+  /// the same job differ only in their RNG stream, so the sweep engine
+  /// reuses one generated graph/instance across all of them (and across
+  /// jobs with identical instance coordinates). `instance` must be non-null.
+  Environment(std::shared_ptr<const BanditInstance> instance,
+              std::uint64_t seed);
 
   /// Advances to the next time slot and draws X_{i,t} for every arm.
   /// Returns the drawn row (valid until the next call).
@@ -31,13 +39,13 @@ class Environment {
   [[nodiscard]] TimeSlot slots_drawn() const noexcept { return slot_; }
 
   [[nodiscard]] const BanditInstance& instance() const noexcept {
-    return instance_;
+    return *instance_;
   }
   [[nodiscard]] const Graph& graph() const noexcept {
-    return instance_.graph();
+    return instance_->graph();
   }
   [[nodiscard]] std::size_t num_arms() const noexcept {
-    return instance_.num_arms();
+    return instance_->num_arms();
   }
 
   /// Realized direct reward of a strategy at the current slot: Σ_{i∈s} X_i.
@@ -50,7 +58,7 @@ class Environment {
   [[nodiscard]] double strategy_side_reward(const ArmSet& strategy) const;
 
  private:
-  BanditInstance instance_;
+  std::shared_ptr<const BanditInstance> instance_;
   Xoshiro256 rng_;
   std::vector<double> rewards_;
   TimeSlot slot_ = 0;

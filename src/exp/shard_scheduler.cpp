@@ -1,6 +1,7 @@
 #include "exp/shard_scheduler.hpp"
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -110,10 +111,13 @@ ReplicatedResult run_sharded_single(const SinglePolicyFactory& make_policy,
   if (!make_policy) {
     throw std::invalid_argument("run_sharded_single: null factory");
   }
+  // One shared copy up front; replications then share it instead of each
+  // deep-copying the CSR graph into their Environment.
+  const auto shared =
+      std::make_shared<const BanditInstance>(instance);
   return run_sharded_impl(
       scenario, options, shard_size_override, [&](std::size_t r) {
-        Environment env(instance,
-                        derive_seed_at(options.master_seed, 2 * r));
+        Environment env(shared, derive_seed_at(options.master_seed, 2 * r));
         const auto policy =
             make_policy(derive_seed_at(options.master_seed, 2 * r + 1));
         return run_single_play(*policy, env, scenario, options.runner);
@@ -128,10 +132,11 @@ ReplicatedResult run_sharded_combinatorial(
   if (!make_policy) {
     throw std::invalid_argument("run_sharded_combinatorial: null factory");
   }
+  const auto shared =
+      std::make_shared<const BanditInstance>(instance);
   return run_sharded_impl(
       scenario, options, shard_size_override, [&](std::size_t r) {
-        Environment env(instance,
-                        derive_seed_at(options.master_seed, 2 * r));
+        Environment env(shared, derive_seed_at(options.master_seed, 2 * r));
         const auto policy =
             make_policy(derive_seed_at(options.master_seed, 2 * r + 1));
         return run_combinatorial(*policy, family, env, scenario,

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -29,6 +30,39 @@ struct JobOutcome {
   double seconds = 0.0;
   std::size_t shards = 0;
   std::size_t shard_size = 0;
+  /// False when cancellation skipped shards; an incomplete aggregate must
+  /// never be emitted (the job reruns from scratch on resume).
+  bool complete = true;
+};
+
+/// Reuses the built instance (graph + arm distributions, and the strategy
+/// family when combinatorial) across consecutive jobs whose instance
+/// coordinates match — family, K, p, family-param, seed, and the family
+/// fields. expand() puts the policy axis innermost, so a one-entry cache
+/// removes every duplicate graph build in a grid; a distributed worker
+/// keeps one across the jobs it is assigned. Not thread-safe: callers use
+/// it from the job loop, never from shard tasks. Horizon and policy are
+/// deliberately not part of the key — they do not affect the instance.
+class InstanceCache {
+ public:
+  struct Entry {
+    std::shared_ptr<const BanditInstance> instance;
+    std::shared_ptr<const FeasibleSet> family;  ///< Null for single-play.
+  };
+
+  /// Returns the cached entry when `config` matches the previous call,
+  /// rebuilding (and re-keying) otherwise.
+  [[nodiscard]] const Entry& get(const ExperimentConfig& config,
+                                 bool combinatorial);
+
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  std::string key_;
+  Entry entry_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
 };
 
 struct SweepRunOptions {
@@ -43,12 +77,22 @@ struct SweepRunOptions {
   /// Streaming per-job callback, invoked in expansion order as each job
   /// completes (progress lines, incremental emission, ...).
   std::function<void(const JobOutcome&)> on_job;
+  /// Cooperative cancellation (e.g. a SIGINT flag). Checked before each job
+  /// and before each shard, from worker threads too — must be thread-safe
+  /// and cheap. Once it returns true the current job finishes incomplete
+  /// (and is dropped) and the remaining jobs are reported pending, so an
+  /// interrupted sweep's output stays valid for --resume.
+  std::function<bool()> should_stop;
+  /// Shared instance cache; nullptr gives each job a private one (still
+  /// correct, no cross-job reuse).
+  InstanceCache* instance_cache = nullptr;
 };
 
 struct SweepResult {
   std::vector<JobOutcome> outcomes;  ///< Newly-run jobs, expansion order.
   std::size_t skipped = 0;           ///< Jobs satisfied by `skip_keys`.
-  std::size_t pending = 0;           ///< Jobs cut by max_jobs.
+  std::size_t pending = 0;           ///< Jobs cut by max_jobs or should_stop.
+  bool interrupted = false;          ///< should_stop fired mid-sweep.
   /// Wall-clock seconds per policy spec across this run's jobs.
   std::map<std::string, RunningStat> policy_seconds;
 };

@@ -485,6 +485,88 @@ TEST(SweepEmitters, LoadJobLinesScansAndTolleratesTruncation) {
   EXPECT_TRUE(load_job_lines(path + ".does-not-exist").empty());
 }
 
+// ------------------------------------------- instance cache + interrupt ---
+
+TEST(InstanceCache, ReusesMatchingBuildsAcrossPolicyAxis) {
+  const SweepSpec spec = tiny_spec();
+  const auto jobs = spec.expand();  // two policies over one instance
+  ASSERT_EQ(jobs.size(), 2u);
+  InstanceCache cache;
+  // Hold shared_ptr copies: get() returns a reference into the cache slot.
+  const auto first = cache.get(jobs[0].config, false).instance;
+  const auto second = cache.get(jobs[1].config, false).instance;
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Horizon is not an instance coordinate — still a hit.
+  ExperimentConfig horizon_only = jobs[0].config;
+  horizon_only.horizon = 999;
+  EXPECT_EQ(cache.get(horizon_only, false).instance.get(), first.get());
+
+  // Any instance coordinate change rebuilds.
+  ExperimentConfig changed = jobs[0].config;
+  changed.edge_probability = 0.25;
+  const auto third = cache.get(changed, false).instance;
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(InstanceCache, CombinatorialEntryCarriesFamilyAndKeysOnIt) {
+  SweepSpec spec = tiny_spec();
+  spec.scenario = Scenario::kCso;
+  spec.strategy_size = 2;
+  const auto jobs = spec.expand();
+  InstanceCache cache;
+  const auto entry = cache.get(jobs[0].config, true);
+  ASSERT_NE(entry.family, nullptr);
+  ExperimentConfig bigger = jobs[0].config;
+  bigger.strategy_size = 3;
+  const auto rebuilt = cache.get(bigger, true);
+  EXPECT_NE(rebuilt.instance.get(), entry.instance.get());
+}
+
+TEST(InstanceCache, SharedCacheDoesNotChangeBytes) {
+  const SweepSpec spec = tiny_spec();
+  const SweepResult shared = run_sweep(spec, SweepRunOptions{});
+  const auto jobs = spec.expand();
+  ASSERT_EQ(shared.outcomes.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    SweepRunOptions solo;  // no shared cache → fresh build per job
+    const JobOutcome outcome = run_sweep_job(jobs[i], spec.checkpoints, solo);
+    EXPECT_EQ(render_job_json(JobRecord::from(outcome.job, outcome.aggregate)),
+              render_job_json(JobRecord::from(shared.outcomes[i].job,
+                                              shared.outcomes[i].aggregate)));
+  }
+}
+
+TEST(SweepRunner, ShouldStopBetweenJobsReportsPending) {
+  const SweepSpec spec = tiny_spec();  // two jobs
+  std::size_t completed = 0;
+  SweepRunOptions options;
+  options.on_job = [&](const JobOutcome&) { ++completed; };
+  options.should_stop = [&] { return completed >= 1; };
+  const SweepResult result = run_sweep(spec, options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.pending, 1u);
+}
+
+TEST(SweepRunner, ShouldStopMidJobDropsTheIncompleteAggregate) {
+  SweepSpec spec = tiny_spec();
+  spec.policies = {"moss"};  // one job, five reps
+  SweepRunOptions options;
+  options.shard_size = 1;  // five single-rep shards, run inline
+  int calls = 0;
+  // Call sequence without a pool: pre-job check, then one check per shard.
+  // Allowing two calls lets exactly one shard run before cancellation.
+  options.should_stop = [&] { return ++calls > 2; };
+  const SweepResult result = run_sweep(spec, options);
+  EXPECT_TRUE(result.interrupted);
+  EXPECT_TRUE(result.outcomes.empty());  // incomplete job is dropped
+  EXPECT_EQ(result.pending, 1u);
+}
+
 TEST(SweepEmitters, CsvHasRowPerCheckpoint) {
   const SweepSpec spec = tiny_spec();
   const SweepResult result = run_sweep(spec, SweepRunOptions{});
