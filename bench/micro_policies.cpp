@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/index_policy.hpp"
 #include "core/policy_factory.hpp"
 #include "graph/clique_cover.hpp"
 #include "graph/generators.hpp"
@@ -114,6 +115,38 @@ void BM_ObservePerSlotPerEdge(benchmark::State& state,
                           static_cast<std::int64_t>(observations.size()));
 }
 
+// Tentpole evidence: per-slot cost of the dirty-set index cache against a
+// forced full recompute (invalidate_index_cache() before every select).
+// Dense (K=400, p=0.3) slots touch ~30% of the arms so the gap is modest;
+// sparse (K=10^4, p=0.002) slots touch ~20 arms and the incremental path
+// skips the other ~9980 refreshes entirely.
+void BM_SelectIncrementalVsRecompute(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const double p = static_cast<double>(state.range(1)) / 1000.0;
+  const bool recompute = state.range(2) != 0;
+  const Graph g = bench_graph(k, p);
+  const auto policy = make_single_play_policy("dfl-sso", 1 << 20, 7);
+  auto* idx = dynamic_cast<SingleIndexPolicy*>(policy.get());
+  policy->reset(g);
+  Xoshiro256 rng(9);
+  std::vector<Observation> obs;
+  TimeSlot t = 0;
+  // Warm: cover every arm once so the loop measures steady-state cost,
+  // not the all-+inf opening transient (identical in both modes anyway).
+  for (std::size_t i = 0; i < k; ++i) obs.push_back({static_cast<ArmId>(i), rng.uniform()});
+  policy->observe(0, ++t, obs);
+  for (auto _ : state) {
+    ++t;
+    if (recompute) idx->invalidate_index_cache();
+    const ArmId a = policy->select(t);
+    obs.clear();
+    for (const ArmId j : g.closed_neighborhood(a)) obs.push_back({j, rng.uniform()});
+    policy->observe(a, t, obs);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 void BM_ErdosRenyi(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
   Xoshiro256 rng(1);
@@ -204,6 +237,13 @@ BENCHMARK_CAPTURE(BM_ObservePerSlotBatched, ucb_n, "ucb-n");
 BENCHMARK_CAPTURE(BM_ObservePerSlotPerEdge, ucb_n, "ucb-n");
 BENCHMARK_CAPTURE(BM_ObservePerSlotBatched, exp3_set, "exp3-set");
 BENCHMARK_CAPTURE(BM_ObservePerSlotPerEdge, exp3_set, "exp3-set");
+
+// Args: {K, p_permille, 1 = force full recompute each slot}.
+BENCHMARK(BM_SelectIncrementalVsRecompute)
+    ->Args({400, 300, 0})
+    ->Args({400, 300, 1})
+    ->Args({10000, 2, 0})
+    ->Args({10000, 2, 1});
 
 BENCHMARK(BM_ErdosRenyi)->Arg(100)->Arg(400);
 BENCHMARK(BM_GraphFromEdgeList)->Arg(100)->Arg(400);

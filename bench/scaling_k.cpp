@@ -164,6 +164,22 @@ void BM_StrategyNeighborhoodUnion(benchmark::State& state) {
   }
 }
 
+/// Covers every arm with one observation so no index is +inf. The all-+inf
+/// opening is a one-off coupon-collector transient (~K·lnK/deg slots, in
+/// which every slot ties across all unobserved arms); warming past it makes
+/// the timed loop measure the steady-state slot cost a long-horizon run
+/// actually pays — the regime the incremental dirty-set cache targets.
+void warm_all_arms(SinglePlayPolicy& policy, std::size_t k, TimeSlot& t,
+                   Xoshiro256& rng) {
+  ObservationBatch warm;
+  warm.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    warm.add(static_cast<ArmId>(i), rng.uniform());
+  }
+  ++t;
+  policy.observe(0, t, warm.span());
+}
+
 /// One full DFL-SSO slot: select (O(K) index scan) + the batched
 /// closed-neighborhood observe the runner performs. The K = 10^4 point is
 /// the ISSUE's "construction + one policy step completes" stress criterion.
@@ -176,6 +192,7 @@ void BM_DflSsoSlot(benchmark::State& state) {
   ObservationBatch batch;
   batch.reserve(k);
   TimeSlot t = 0;
+  warm_all_arms(*policy, k, t, rng);
   for (auto _ : state) {
     ++t;
     const ArmId a = policy->select(t);
@@ -184,6 +201,38 @@ void BM_DflSsoSlot(benchmark::State& state) {
     policy->observe(a, t, batch.span());
     benchmark::DoNotOptimize(a);
   }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Large-K slots: same loop as BM_DflSsoSlot but the graph is CSR-only
+/// (kCsrOnly — the bitset rows alone would be 2.5 GB at K = 10^5 and
+/// 250 GB at 10^6) and the second argument is the average degree, since
+/// p_permille cannot express p = 2·10^-5. These points exist because of
+/// the incremental dirty-set index cache: a slot refreshes only the
+/// ~degree observed arms instead of all K.
+void BM_DflSsoSlotLargeK(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const double p = static_cast<double>(state.range(1)) /
+                   static_cast<double>(k - 1);
+  Xoshiro256 graph_rng(42);
+  const Graph g = erdos_renyi(k, p, graph_rng, ErSampling::kGeometric,
+                              GraphStorage::kCsrOnly);
+  const auto policy = make_single_play_policy("dfl-sso", 1 << 20, 7);
+  policy->reset(g);
+  Xoshiro256 rng(9);
+  ObservationBatch batch;
+  batch.reserve(k);
+  TimeSlot t = 0;
+  warm_all_arms(*policy, k, t, rng);
+  for (auto _ : state) {
+    ++t;
+    const ArmId a = policy->select(t);
+    batch.clear();
+    for (const ArmId j : g.closed_neighborhood(a)) batch.add(j, rng.uniform());
+    policy->observe(a, t, batch.span());
+    benchmark::DoNotOptimize(a);
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
   state.SetItemsProcessed(state.iterations());
 }
 
@@ -205,6 +254,11 @@ BENCHMARK(BM_StrategyNeighborhoodUnion)
 BENCHMARK(BM_DflSsoSlot)
     ->Args({400, 600})
     ->Args({10000, 2})
+    ->Unit(benchmark::kMicrosecond);
+// Args: {K, average degree}. CSR-only storage; see BM_DflSsoSlotLargeK.
+BENCHMARK(BM_DflSsoSlotLargeK)
+    ->Args({100000, 20})
+    ->Args({1000000, 20})
     ->Unit(benchmark::kMicrosecond);
 
 #endif  // NCB_HAVE_BENCHMARK

@@ -135,6 +135,73 @@ with open("BENCH_graph.json", "w") as f:
     f.write("\n")
 print("wrote BENCH_graph.json")
 PY
+  bench_regression_guard
+}
+
+# Regression guard over the tracked hot-path benches: compare the fresh
+# timings against the committed BENCH_graph.json baseline (HEAD) and fail
+# if any guarded benchmark got more than 1.5x slower. The report always
+# lands in build/bench_regression.txt (uploaded as a CI artifact) so a
+# red run shows exactly which point moved. Benchmarks new in this run
+# (absent from the baseline) are reported but never fail the guard.
+bench_regression_guard() {
+  if ! git show HEAD:BENCH_graph.json > build/bench_baseline.json 2>/dev/null; then
+    echo "bench guard: no committed BENCH_graph.json baseline — skipped" \
+        | tee build/bench_regression.txt
+    return 0
+  fi
+  python3 - <<'PY'
+import json
+import sys
+
+GUARDED_PREFIXES = ("BM_DflSsoSlot", "BM_ClosedNeighborhoodSweep")
+THRESHOLD = 1.5
+
+def guarded_times(path):
+    with open(path) as f:
+        merged = json.load(f)
+    out = {}
+    for suite in merged.get("benches", {}).values():
+        for b in suite.get("benchmarks", []):
+            if b.get("run_type", "iteration") != "iteration":
+                continue
+            name = b["name"]
+            if name.startswith(GUARDED_PREFIXES):
+                # One entry per name in our suites; keep the median-like
+                # real_time google-benchmark reports for the run.
+                out[name] = (b["real_time"], b["time_unit"])
+    return out
+
+base = guarded_times("build/bench_baseline.json")
+fresh = guarded_times("BENCH_graph.json")
+lines, failures = [], []
+for name in sorted(fresh):
+    t, unit = fresh[name]
+    if name not in base:
+        lines.append(f"NEW      {name}: {t:.1f} {unit} (no baseline)")
+        continue
+    t0, unit0 = base[name]
+    if unit0 != unit:
+        lines.append(f"SKIP     {name}: unit changed {unit0} -> {unit}")
+        continue
+    ratio = t / t0 if t0 > 0 else float("inf")
+    tag = "REGRESS " if ratio > THRESHOLD else ("OK      " if ratio >= 1 else "FASTER  ")
+    lines.append(f"{tag} {name}: {t0:.1f} -> {t:.1f} {unit} ({ratio:.2f}x)")
+    if ratio > THRESHOLD:
+        failures.append(name)
+for name in sorted(set(base) - set(fresh)):
+    lines.append(f"GONE     {name}: present in baseline, missing from run")
+
+report = "\n".join(lines) + "\n"
+with open("build/bench_regression.txt", "w") as f:
+    f.write(report)
+sys.stdout.write(report)
+if failures:
+    print(f"bench guard: {len(failures)} benchmark(s) regressed beyond "
+          f"{THRESHOLD}x -- see build/bench_regression.txt")
+    sys.exit(1)
+print("bench guard: no tracked benchmark regressed beyond 1.5x")
+PY
 }
 
 if [ "${1:-}" = "bench" ]; then

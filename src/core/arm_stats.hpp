@@ -1,31 +1,69 @@
-// Per-arm sufficient statistics shared by the index policies.
+// Per-arm sufficient statistics shared by the index policies, stored in
+// structure-of-arrays form.
+//
+// The select hot path scans per-arm counts and means as flat arrays (an
+// every-round index refresh touches all K of each, the vectorized argmax
+// streams the index array), so the table keeps one contiguous counts[]
+// and one contiguous means[] instead of an array of {count, mean} pairs.
+// The mean update matches the paper's line "X̄ ← X/O + (1 − 1/O)·X̄" with
+// O the post-increment count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
+
+#include "util/types.hpp"
 
 namespace ncb {
 
-/// Count + incremental mean for one arm (or com-arm). The update matches the
-/// paper's line "X̄ ← X/O + (1 − 1/O)·X̄" with O the post-increment count.
-struct ArmStat {
-  std::int64_t count = 0;
-  double mean = 0.0;
-
-  void add(double value) noexcept {
-    ++count;
-    mean += (value - mean) / static_cast<double>(count);
+class ArmStatsTable {
+ public:
+  /// Resets to `size` cleared entries, reusing the existing allocations.
+  void reset(std::size_t size) {
+    counts_.assign(size, 0);
+    means_.assign(size, 0.0);
   }
 
-  void clear() noexcept {
-    count = 0;
-    mean = 0.0;
+  [[nodiscard]] std::size_t size() const noexcept { return counts_.size(); }
+
+  /// Observation count O_i; throws std::out_of_range for invalid arms.
+  [[nodiscard]] std::int64_t count(ArmId i) const {
+    return counts_.at(static_cast<std::size_t>(i));
   }
+
+  /// Empirical mean X̄_i; throws std::out_of_range for invalid arms.
+  [[nodiscard]] double mean(ArmId i) const {
+    return means_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Folds one observation of arm i into the table; throws
+  /// std::out_of_range for invalid arms.
+  void add(ArmId i, double value) {
+    const auto k = static_cast<std::size_t>(i);
+    if (k >= counts_.size()) {
+      throw std::out_of_range("ArmStatsTable::add: arm out of range");
+    }
+    add_unchecked(k, value);
+  }
+
+  /// Unchecked fold for hot paths whose arm is already validated.
+  void add_unchecked(std::size_t k, double value) noexcept {
+    const std::int64_t c = ++counts_[k];
+    means_[k] += (value - means_[k]) / static_cast<double>(c);
+  }
+
+  /// Flat per-arm count array (size() entries), for bulk refresh loops.
+  [[nodiscard]] const std::int64_t* counts() const noexcept {
+    return counts_.data();
+  }
+  /// Flat per-arm mean array (size() entries).
+  [[nodiscard]] const double* means() const noexcept { return means_.data(); }
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::vector<double> means_;
 };
-
-/// Resets a vector of stats to `size` cleared entries.
-inline void reset_stats(std::vector<ArmStat>& stats, std::size_t size) {
-  stats.assign(size, ArmStat{});
-}
 
 }  // namespace ncb

@@ -17,24 +17,33 @@ Cucb::Cucb(std::shared_ptr<const FeasibleSet> family, CucbOptions options)
 }
 
 void Cucb::reset() {
-  reset_stats(stats_, family_->graph().num_vertices());
+  stats_.reset(family_->graph().num_vertices());
   scores_.assign(stats_.size(), 0.0);
   rng_ = Xoshiro256(options_.seed);
 }
 
 double Cucb::arm_index(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return 1e6;  // force coverage of unplayed arms
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) return 1e6;  // force coverage of unplayed arms
   const double bonus =
       std::sqrt(options_.exploration *
                 std::log(std::max<double>(static_cast<double>(t), 1.0)) /
-                static_cast<double>(s.count));
-  return s.mean + bonus;
+                static_cast<double>(count));
+  return stats_.mean(i) + bonus;
 }
 
 StrategyId Cucb::select(TimeSlot t) {
+  // c·ln t is shared by every arm (same hoisting as the single-play UCBs;
+  // the expression tree matches arm_index, so the scores are bit-equal).
+  const double clt =
+      options_.exploration *
+      std::log(std::max<double>(static_cast<double>(t), 1.0));
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
   for (std::size_t i = 0; i < scores_.size(); ++i) {
-    scores_[i] = arm_index(static_cast<ArmId>(i), t);
+    scores_[i] = counts[i] == 0
+                     ? 1e6
+                     : means[i] + std::sqrt(clt / static_cast<double>(counts[i]));
   }
   return argmax_modular(*family_, scores_);
 }
@@ -45,7 +54,7 @@ void Cucb::observe(StrategyId played, TimeSlot /*t*/,
   const Bitset64& bits = family_->strategy_bits(played);
   for (const Observation& obs : observations) {
     if (bits.test(static_cast<std::size_t>(obs.arm))) {
-      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+      stats_.add(obs.arm, obs.value);
     }
   }
 }

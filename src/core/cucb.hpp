@@ -32,14 +32,14 @@ class Cucb final : public CombinatorialPolicy {
   [[nodiscard]] std::string describe() const override;
 
   [[nodiscard]] std::int64_t play_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
+    return stats_.count(i);
   }
   [[nodiscard]] double arm_index(ArmId i, TimeSlot t) const;
 
  private:
   std::shared_ptr<const FeasibleSet> family_;
   CucbOptions options_;
-  std::vector<ArmStat> stats_;
+  ArmStatsTable stats_;
   std::vector<double> scores_;
   Xoshiro256 rng_;
 };

@@ -5,6 +5,7 @@
 
 #include "core/policy_registry.hpp"
 #include "strategy/strategy_graph.hpp"
+#include "util/argmax.hpp"
 #include "util/math.hpp"
 
 namespace ncb {
@@ -31,7 +32,8 @@ DflCso::DflCso(std::shared_ptr<const FeasibleSet> family, DflCsoOptions options)
 }
 
 void DflCso::reset() {
-  reset_stats(stats_, family_->size());
+  stats_.reset(family_->size());
+  scores_.assign(family_->size(), 0.0);
   scratch_rewards_.assign(family_->graph().num_vertices(), 0.0);
   scratch_stamp_.assign(family_->graph().num_vertices(), -1);
   epoch_ = 0;
@@ -39,30 +41,30 @@ void DflCso::reset() {
 }
 
 double DflCso::index(StrategyId x, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(x));
-  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const std::int64_t count = stats_.count(x);
+  if (count == 0) return std::numeric_limits<double>::infinity();
   const double ratio = static_cast<double>(t) /
                        (static_cast<double>(family_->size()) *
-                        static_cast<double>(s.count));
-  return s.mean + exploration_width(ratio, static_cast<double>(s.count));
+                        static_cast<double>(count));
+  return stats_.mean(x) + exploration_width(ratio, static_cast<double>(count));
 }
 
 StrategyId DflCso::select(TimeSlot t) {
-  StrategyId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (StrategyId x = 0; x < static_cast<StrategyId>(family_->size()); ++x) {
-    const double idx = index(x, t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = x;
-      ties = 1;
-    } else if (idx == best_index) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = x;
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
+  const double f_size = static_cast<double>(family_->size());
+  for (std::size_t x = 0; x < scores_.size(); ++x) {
+    if (counts[x] == 0) {
+      scores_[x] = std::numeric_limits<double>::infinity();
+      continue;
     }
+    const double ratio =
+        static_cast<double>(t) / (f_size * static_cast<double>(counts[x]));
+    scores_[x] = means[x] + exploration_width(ratio, static_cast<double>(counts[x]));
   }
-  return best;
+  // Same reservoir tie-break draw sequence as the historical inline loop.
+  return static_cast<StrategyId>(
+      reservoir_argmax(scores_.data(), scores_.size(), rng_));
 }
 
 void DflCso::observe(StrategyId played, TimeSlot /*t*/,
@@ -87,7 +89,7 @@ void DflCso::observe(StrategyId played, TimeSlot /*t*/,
       }
       reward += scratch_rewards_[static_cast<std::size_t>(i)];
     }
-    if (complete) stats_[static_cast<std::size_t>(y)].add(reward);
+    if (complete) stats_.add_unchecked(static_cast<std::size_t>(y), reward);
   }
 }
 

@@ -52,10 +52,10 @@ class DflCso final : public CombinatorialPolicy {
 
   [[nodiscard]] const FeasibleSet& family() const noexcept { return *family_; }
   [[nodiscard]] std::int64_t observation_count(StrategyId x) const {
-    return stats_.at(static_cast<std::size_t>(x)).count;
+    return stats_.count(x);
   }
   [[nodiscard]] double empirical_mean(StrategyId x) const {
-    return stats_.at(static_cast<std::size_t>(x)).mean;
+    return stats_.mean(x);
   }
   [[nodiscard]] double index(StrategyId x, TimeSlot t) const;
   /// Com-arms whose statistics get updated when `x` is played.
@@ -67,7 +67,8 @@ class DflCso final : public CombinatorialPolicy {
   std::shared_ptr<const FeasibleSet> family_;
   DflCsoOptions options_;
   std::vector<std::vector<StrategyId>> update_lists_;
-  std::vector<ArmStat> stats_;
+  ArmStatsTable stats_;
+  std::vector<double> scores_;            // per-com-arm index scratch
   std::vector<double> scratch_rewards_;   // per-arm value buffer
   std::vector<std::int64_t> scratch_stamp_;  // which epoch staged the value
   std::int64_t epoch_ = 0;

@@ -21,25 +21,36 @@ DflCsr::DflCsr(std::shared_ptr<const FeasibleSet> family,
 }
 
 void DflCsr::reset() {
-  reset_stats(stats_, family_->graph().num_vertices());
+  stats_.reset(family_->graph().num_vertices());
   scores_.assign(stats_.size(), 0.0);
   rng_ = Xoshiro256(options_.seed);
 }
 
 double DflCsr::arm_score(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return options_.unobserved_score;
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) return options_.unobserved_score;
   // ln(t^{2/3} / (K·O_i)) clipped at zero, per Equation (47).
   const double k = static_cast<double>(stats_.size());
   const double ratio =
       std::pow(static_cast<double>(t), 2.0 / 3.0) /
-      (k * static_cast<double>(s.count));
-  return s.mean + exploration_width(ratio, static_cast<double>(s.count));
+      (k * static_cast<double>(count));
+  return stats_.mean(i) + exploration_width(ratio, static_cast<double>(count));
 }
 
 StrategyId DflCsr::select(TimeSlot t) {
+  // t^{2/3} is shared by every arm; hoist it so the per-arm work is one
+  // division + sqrt over the flat SoA arrays (same tree as arm_score).
+  const double t23 = std::pow(static_cast<double>(t), 2.0 / 3.0);
+  const double k = static_cast<double>(stats_.size());
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
   for (std::size_t i = 0; i < scores_.size(); ++i) {
-    scores_[i] = arm_score(static_cast<ArmId>(i), t);
+    if (counts[i] == 0) {
+      scores_[i] = options_.unobserved_score;
+      continue;
+    }
+    const double ratio = t23 / (k * static_cast<double>(counts[i]));
+    scores_[i] = means[i] + exploration_width(ratio, static_cast<double>(counts[i]));
   }
   return oracle_->select(*family_, scores_);
 }
@@ -49,7 +60,7 @@ void DflCsr::observe(StrategyId /*played*/, TimeSlot /*t*/,
   // Observations cover Y_x; update every revealed arm in one batched pass
   // (pseudocode line "for k ∈ Y_x").
   for (const Observation& obs : observations) {
-    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+    stats_.add(obs.arm, obs.value);
   }
 }
 

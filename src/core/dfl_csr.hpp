@@ -45,10 +45,10 @@ class DflCsr final : public CombinatorialPolicy {
 
   [[nodiscard]] const FeasibleSet& family() const noexcept { return *family_; }
   [[nodiscard]] std::int64_t observation_count(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).count;
+    return stats_.count(i);
   }
   [[nodiscard]] double empirical_mean(ArmId i) const {
-    return stats_.at(static_cast<std::size_t>(i)).mean;
+    return stats_.mean(i);
   }
   /// Per-arm index score w_i(t) fed to the coverage oracle.
   [[nodiscard]] double arm_score(ArmId i, TimeSlot t) const;
@@ -57,7 +57,7 @@ class DflCsr final : public CombinatorialPolicy {
   std::shared_ptr<const FeasibleSet> family_;
   std::shared_ptr<const CoverageOracle> oracle_;
   DflCsrOptions options_;
-  std::vector<ArmStat> stats_;
+  ArmStatsTable stats_;
   std::vector<double> scores_;  // scratch
   Xoshiro256 rng_;
 };

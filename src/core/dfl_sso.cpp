@@ -16,14 +16,31 @@ void DflSso::on_reset(const Graph& graph) {
   ArmStatIndexPolicy::on_reset(graph);
 }
 
-double DflSso::index(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return std::numeric_limits<double>::infinity();
+IndexRefresh DflSso::refresh_index(ArmId i, TimeSlot t) const {
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) {
+    // +inf until the first observation dirty-marks the arm.
+    return {std::numeric_limits<double>::infinity(), kIndexValidForever};
+  }
+  // Width plateau: t ≤ K·O_i ⇔ the ratio rounds to ≤ 1.0 (t and K·O_i are
+  // exact in double up to 2^53 and division is monotonic), so log⁺ clips
+  // the width to exactly zero and the index sits at the empirical mean
+  // until slot K·O_i.
+  const std::int64_t plateau = static_cast<std::int64_t>(num_arms_) * count;
+  const double mean = stats_.mean(i);
+  if (t <= plateau) {
+    return {mean + options_.exploration_scale * 0.0, plateau};
+  }
   const double ratio = static_cast<double>(t) /
                        (static_cast<double>(num_arms_) *
-                        static_cast<double>(s.count));
-  return s.mean + options_.exploration_scale *
-                      exploration_width(ratio, static_cast<double>(s.count));
+                        static_cast<double>(count));
+  return {mean + options_.exploration_scale *
+                     exploration_width(ratio, static_cast<double>(count)),
+          t};
+}
+
+double DflSso::index(ArmId i, TimeSlot t) const {
+  return refresh_index(i, t).value;
 }
 
 ArmId DflSso::refine_selection(ArmId best) {

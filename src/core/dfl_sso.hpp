@@ -35,6 +35,10 @@ class DflSso final : public ArmStatIndexPolicy {
  protected:
   void on_reset(const Graph& graph) override;
   [[nodiscard]] ArmId refine_selection(ArmId best) override;
+  [[nodiscard]] IndexRefreshMode refresh_mode() const override {
+    return IndexRefreshMode::kIncremental;
+  }
+  [[nodiscard]] IndexRefresh refresh_index(ArmId i, TimeSlot t) const override;
 
  private:
   DflSsoOptions options_;

@@ -13,7 +13,7 @@ DflSsr::DflSsr(DflSsrOptions options)
 
 void DflSsr::on_reset(const Graph& graph) {
   graph_ = graph;
-  reset_stats(direct_, num_arms_);
+  direct_.reset(num_arms_);
   prefix_sums_.assign(num_arms_, {});
   if (options_.estimator == SsrEstimator::kPaired) {
     for (auto& ps : prefix_sums_) ps.reserve(64);
@@ -21,18 +21,20 @@ void DflSsr::on_reset(const Graph& graph) {
 }
 
 std::int64_t DflSsr::side_observation_count(ArmId i) const {
+  const std::int64_t* counts = direct_.counts();
   std::int64_t ob = std::numeric_limits<std::int64_t>::max();
   for (const ArmId j : graph_.closed_neighborhood(i)) {
-    ob = std::min(ob, direct_[static_cast<std::size_t>(j)].count);
+    ob = std::min(ob, counts[static_cast<std::size_t>(j)]);
   }
   return ob;
 }
 
 double DflSsr::side_reward_estimate(ArmId i) const {
   if (options_.estimator == SsrEstimator::kMeanSum) {
+    const double* means = direct_.means();
     double total = 0.0;
     for (const ArmId j : graph_.closed_neighborhood(i)) {
-      total += direct_[static_cast<std::size_t>(j)].mean;
+      total += means[static_cast<std::size_t>(j)];
     }
     return total;
   }
@@ -47,23 +49,52 @@ double DflSsr::side_reward_estimate(ArmId i) const {
   return total / static_cast<double>(ob);
 }
 
-double DflSsr::index(ArmId i, TimeSlot t) const {
+IndexRefresh DflSsr::refresh_index(ArmId i, TimeSlot t) const {
   const std::int64_t ob = side_observation_count(i);
-  if (ob == 0) return std::numeric_limits<double>::infinity();
+  if (ob == 0) {
+    return {std::numeric_limits<double>::infinity(), kIndexValidForever};
+  }
+  // Same width plateau as DFL-SSO, over the side-reward counter Ob_i.
+  const std::int64_t plateau = static_cast<std::int64_t>(num_arms_) * ob;
+  if (t <= plateau) return {side_reward_estimate(i) + 0.0, plateau};
   const double ratio = static_cast<double>(t) /
                        (static_cast<double>(num_arms_) * static_cast<double>(ob));
-  return side_reward_estimate(i) +
-         exploration_width(ratio, static_cast<double>(ob));
+  return {side_reward_estimate(i) +
+              exploration_width(ratio, static_cast<double>(ob)),
+          t};
+}
+
+double DflSsr::index(ArmId i, TimeSlot t) const {
+  return refresh_index(i, t).value;
 }
 
 void DflSsr::observe(ArmId /*played*/, TimeSlot /*t*/,
                      ObservationSpan observations) {
   for (const Observation& obs : observations) {
     const auto i = static_cast<std::size_t>(obs.arm);
-    direct_[i].add(obs.value);
+    direct_.add(obs.arm, obs.value);
     if (options_.estimator == SsrEstimator::kPaired) {
       const double prev = prefix_sums_[i].empty() ? 0.0 : prefix_sums_[i].back();
       prefix_sums_[i].push_back(prev + obs.value);
+    }
+  }
+  // An arm's index reads the min count and means over its *closed
+  // neighborhood*, so the stale set is the union of the observed arms'
+  // closed neighborhoods (two hops from the played arm). When scanning
+  // that union would cost ≥ K marks, flooding the whole cache is cheaper.
+  if (!all_indices_dirty()) {
+    std::size_t touched = 0;
+    for (const Observation& obs : observations) {
+      touched += graph_.degree(obs.arm) + 1;
+    }
+    if (touched >= num_arms_) {
+      mark_all_indices_dirty();
+    } else {
+      for (const Observation& obs : observations) {
+        for (const ArmId j : graph_.closed_neighborhood(obs.arm)) {
+          mark_index_dirty(j);
+        }
+      }
     }
   }
 }

@@ -42,9 +42,9 @@ class DflSsr final : public SingleIndexPolicy {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::string describe() const override;
 
-  /// Direct-observation count O_i.
+  /// Direct-observation count O_i; bounds-checked.
   [[nodiscard]] std::int64_t observation_count(ArmId i) const {
-    return direct_.at(static_cast<std::size_t>(i)).count;
+    return direct_.count(i);
   }
   /// Side-reward observation count Ob_i = min_{j∈N_i} O_j.
   [[nodiscard]] std::int64_t side_observation_count(ArmId i) const;
@@ -56,11 +56,15 @@ class DflSsr final : public SingleIndexPolicy {
 
  protected:
   void on_reset(const Graph& graph) override;
+  [[nodiscard]] IndexRefreshMode refresh_mode() const override {
+    return IndexRefreshMode::kIncremental;
+  }
+  [[nodiscard]] IndexRefresh refresh_index(ArmId i, TimeSlot t) const override;
 
  private:
   DflSsrOptions options_;
   Graph graph_{0};  // copied at reset(); no external lifetime requirement
-  std::vector<ArmStat> direct_;                    // O_i and X̄_i
+  ArmStatsTable direct_;                           // O_i and X̄_i
   std::vector<std::vector<double>> prefix_sums_;   // kPaired: per-arm Σ first m obs
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/policy_registry.hpp"
+#include "util/argmax.hpp"
 
 namespace ncb {
 
@@ -18,7 +19,7 @@ EpsilonGreedy::EpsilonGreedy(EpsilonGreedyOptions options)
 
 void EpsilonGreedy::reset(const Graph& graph) {
   num_arms_ = graph.num_vertices();
-  reset_stats(stats_, num_arms_);
+  stats_.reset(num_arms_);
   rng_ = Xoshiro256(options_.seed);
 }
 
@@ -32,33 +33,23 @@ double EpsilonGreedy::epsilon_at(TimeSlot t) const {
 ArmId EpsilonGreedy::select(TimeSlot t) {
   if (num_arms_ == 0) throw std::logic_error("EpsilonGreedy: reset() not called");
   // Explore unvisited arms first so the greedy step has data.
+  const std::int64_t* counts = stats_.counts();
   for (std::size_t i = 0; i < num_arms_; ++i) {
-    if (stats_[i].count == 0) return static_cast<ArmId>(i);
+    if (counts[i] == 0) return static_cast<ArmId>(i);
   }
   if (rng_.bernoulli(epsilon_at(t))) {
     return static_cast<ArmId>(rng_.uniform_int(num_arms_));
   }
-  ArmId best = 0;
-  double best_mean = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    if (stats_[i].mean > best_mean) {
-      best_mean = stats_[i].mean;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (stats_[i].mean == best_mean) {
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
-    }
-  }
-  return best;
+  // Exploit: the shared block-vectorized argmax over the flat mean array,
+  // with the same reservoir tie-break draw sequence as the historical loop.
+  return static_cast<ArmId>(reservoir_argmax(stats_.means(), num_arms_, rng_));
 }
 
 void EpsilonGreedy::observe(ArmId played, TimeSlot /*t*/,
                             ObservationSpan observations) {
   for (const Observation& obs : observations) {
     if (options_.use_side_observations || obs.arm == played) {
-      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+      stats_.add(obs.arm, obs.value);
     }
   }
 }

@@ -34,7 +34,7 @@ class EpsilonGreedy final : public SinglePlayPolicy {
  private:
   EpsilonGreedyOptions options_;
   std::size_t num_arms_ = 0;
-  std::vector<ArmStat> stats_;
+  ArmStatsTable stats_;
   Xoshiro256 rng_;
 };
 

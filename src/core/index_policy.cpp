@@ -1,13 +1,36 @@
 #include "core/index_policy.hpp"
 
-#include <limits>
+#include <algorithm>
 #include <stdexcept>
 
+#include "util/argmax.hpp"
+
 namespace ncb {
+namespace {
+
+/// Min-heap ordering on (valid_until, arm): the earliest expiry at front.
+struct LaterExpiry {
+  bool operator()(const std::pair<TimeSlot, ArmId>& a,
+                  const std::pair<TimeSlot, ArmId>& b) const noexcept {
+    return a.first > b.first;
+  }
+};
+
+}  // namespace
 
 void SingleIndexPolicy::reset(const Graph& graph) {
   num_arms_ = graph.num_vertices();
   rng_ = Xoshiro256(seed_);
+  cached_indices_.assign(num_arms_, 0.0);
+  dirty_flag_.assign(num_arms_, 0);
+  dirty_list_.clear();
+  valid_until_.assign(num_arms_, 0);
+  expiry_heap_.clear();
+  sched_vu_.assign(num_arms_, kIndexValidForever);
+  hot_list_.clear();
+  all_dirty_ = true;
+  last_select_t_ = std::numeric_limits<TimeSlot>::min();
+  tie_break_draws_ = 0;
   on_reset(graph);
 }
 
@@ -16,44 +39,141 @@ ArmId SingleIndexPolicy::select(TimeSlot t) {
     throw std::logic_error(name() + ": reset() not called");
   }
   before_select(t);
-  ArmId best = 0;
-  double best_index = -std::numeric_limits<double>::infinity();
-  std::size_t ties = 0;
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    const double idx = index(static_cast<ArmId>(i), t);
-    if (idx > best_index) {
-      best_index = idx;
-      best = static_cast<ArmId>(i);
-      ties = 1;
-    } else if (idx == best_index) {
-      // Reservoir-style uniform tie-breaking.
-      ++ties;
-      if (rng_.uniform_int(ties) == 0) best = static_cast<ArmId>(i);
+  double* cache = cached_indices_.data();
+  if (refresh_mode() == IndexRefreshMode::kEveryRound) {
+    refresh_all_indices(t, cache);
+  } else {
+    refresh_incremental(t, cache);
+  }
+  last_select_t_ = t;
+  const std::size_t best =
+      reservoir_argmax(cache, num_arms_, rng_, &tie_break_draws_);
+  return refine_selection(static_cast<ArmId>(best));
+}
+
+void SingleIndexPolicy::refresh_all_indices(TimeSlot t, double* out) const {
+  for (std::size_t k = 0; k < num_arms_; ++k) {
+    out[k] = index(static_cast<ArmId>(k), t);
+  }
+}
+
+void SingleIndexPolicy::refresh_incremental(TimeSlot t, double* cache) {
+  // Time moving backwards (piecewise scenarios replaying, tests probing
+  // arbitrary slots) invalidates every valid_until promise; fall back to a
+  // full rebuild rather than trusting stale plateaus.
+  if (all_dirty_ || t < last_select_t_) {
+    rebuild_cache(t, cache);
+    return;
+  }
+  // Hot arms expired the moment they were refreshed; re-dirty them without
+  // a heap round-trip (dedup'd against observe()'s own markings).
+  for (const ArmId i : hot_list_) mark_index_dirty(i);
+  hot_list_.clear();
+  // Expired promises become dirty. A popped entry whose arm is still
+  // valid (its promise was extended after the push) renews itself at the
+  // authoritative expiry instead of triggering a refresh.
+  while (!expiry_heap_.empty() && expiry_heap_.front().first < t) {
+    const auto [vu, arm] = expiry_heap_.front();
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), LaterExpiry{});
+    expiry_heap_.pop_back();
+    const auto k = static_cast<std::size_t>(arm);
+    if (vu == sched_vu_[k]) sched_vu_[k] = kIndexValidForever;
+    if (valid_until_[k] == kIndexValidForever) continue;
+    if (valid_until_[k] < t) {
+      mark_index_dirty(arm);
+    } else {
+      schedule_expiry(arm, valid_until_[k]);
     }
   }
-  return refine_selection(best);
+  for (const ArmId i : dirty_list_) {
+    const auto k = static_cast<std::size_t>(i);
+    const IndexRefresh r = refresh_index(i, t);
+    cache[k] = r.value;
+    valid_until_[k] = r.valid_until;
+    if (r.valid_until == kIndexValidForever) {
+      // Never expires on its own; only an observation re-dirties it.
+    } else if (r.valid_until <= t) {
+      hot_list_.push_back(i);
+    } else {
+      schedule_expiry(i, r.valid_until);
+    }
+    dirty_flag_[k] = 0;
+  }
+  dirty_list_.clear();
+  if (expiry_heap_.size() > 4 * num_arms_ + 64) purge_expiry_heap();
+}
+
+void SingleIndexPolicy::rebuild_cache(TimeSlot t, double* cache) {
+  std::fill(dirty_flag_.begin(), dirty_flag_.end(), std::uint8_t{0});
+  dirty_list_.clear();
+  expiry_heap_.clear();
+  std::fill(sched_vu_.begin(), sched_vu_.end(), kIndexValidForever);
+  hot_list_.clear();
+  for (std::size_t k = 0; k < num_arms_; ++k) {
+    const IndexRefresh r = refresh_index(static_cast<ArmId>(k), t);
+    cache[k] = r.value;
+    valid_until_[k] = r.valid_until;
+    if (r.valid_until == kIndexValidForever) {
+    } else if (r.valid_until <= t) {
+      hot_list_.push_back(static_cast<ArmId>(k));
+    } else {
+      expiry_heap_.emplace_back(r.valid_until, static_cast<ArmId>(k));
+      sched_vu_[k] = r.valid_until;
+    }
+  }
+  std::make_heap(expiry_heap_.begin(), expiry_heap_.end(), LaterExpiry{});
+  all_dirty_ = false;
+}
+
+void SingleIndexPolicy::schedule_expiry(ArmId i, TimeSlot valid_until) {
+  // An existing entry popping at or before the new expiry already
+  // guarantees a timely wake-up (it renews itself if it pops early).
+  const auto k = static_cast<std::size_t>(i);
+  if (sched_vu_[k] <= valid_until) return;
+  expiry_heap_.emplace_back(valid_until, i);
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(), LaterExpiry{});
+  sched_vu_[k] = valid_until;
+}
+
+void SingleIndexPolicy::purge_expiry_heap() {
+  // Drops every superseded entry in one pass by rebuilding from the
+  // authoritative per-arm expiries. Hot-listed arms (valid_until == the
+  // last refresh slot) get a redundant entry here; it pops on the next
+  // select and its dirty marking dedups against the hot list's own.
+  expiry_heap_.clear();
+  for (std::size_t k = 0; k < num_arms_; ++k) {
+    if (valid_until_[k] != kIndexValidForever) {
+      expiry_heap_.emplace_back(valid_until_[k], static_cast<ArmId>(k));
+      sched_vu_[k] = valid_until_[k];
+    } else {
+      sched_vu_[k] = kIndexValidForever;
+    }
+  }
+  std::make_heap(expiry_heap_.begin(), expiry_heap_.end(), LaterExpiry{});
 }
 
 void ArmStatIndexPolicy::on_reset(const Graph& /*graph*/) {
-  reset_stats(stats_, num_arms_);
+  stats_.reset(num_arms_);
 }
 
 void ArmStatIndexPolicy::observe(ArmId /*played*/, TimeSlot /*t*/,
                                  ObservationSpan observations) {
   for (const Observation& obs : observations) {
-    stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+    absorb(obs.arm, obs.value);
   }
 }
 
 ArmId ArmStatIndexPolicy::best_empirical_in_neighborhood(const Graph& graph,
                                                          ArmId best) const {
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
   ArmId play = best;
-  double play_mean = stats_[static_cast<std::size_t>(best)].mean;
+  double play_mean = means[static_cast<std::size_t>(best)];
   for (const ArmId j : graph.closed_neighborhood(best)) {
-    const ArmStat& s = stats_[static_cast<std::size_t>(j)];
-    if (s.count > 0 && s.mean > play_mean) {
+    const auto k = static_cast<std::size_t>(j);
+    if (counts[k] > 0 && means[k] > play_mean) {
       play = j;
-      play_mean = s.mean;
+      play_mean = means[k];
     }
   }
   return play;

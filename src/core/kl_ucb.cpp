@@ -37,12 +37,29 @@ double KlUcb::kl_upper_bound(double p, double count, double budget) noexcept {
 }
 
 double KlUcb::index(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) return std::numeric_limits<double>::infinity();
   const double lt = std::log(std::max<double>(static_cast<double>(t), 1.0));
   const double llt =
       options_.c > 0.0 ? options_.c * std::log(std::max(lt, 1.0)) : 0.0;
-  return kl_upper_bound(s.mean, static_cast<double>(s.count), lt + llt);
+  return kl_upper_bound(stats_.mean(i), static_cast<double>(count), lt + llt);
+}
+
+void KlUcb::refresh_all_indices(TimeSlot t, double* out) const {
+  // The exploration budget ln t + c·ln ln t is shared by every arm; the
+  // per-arm work is just the bisection on its own (mean, count).
+  const double lt = std::log(std::max<double>(static_cast<double>(t), 1.0));
+  const double llt =
+      options_.c > 0.0 ? options_.c * std::log(std::max(lt, 1.0)) : 0.0;
+  const double budget = lt + llt;
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
+  for (std::size_t k = 0; k < num_arms_; ++k) {
+    out[k] = counts[k] == 0
+                 ? std::numeric_limits<double>::infinity()
+                 : kl_upper_bound(means[k], static_cast<double>(counts[k]),
+                                  budget);
+  }
 }
 
 void KlUcb::observe(ArmId played, TimeSlot t, ObservationSpan observations) {
@@ -56,7 +73,7 @@ void KlUcb::observe(ArmId played, TimeSlot t, ObservationSpan observations) {
   } else {
     for (const Observation& obs : observations) {
       if (obs.arm == played) {
-        stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+        absorb(obs.arm, obs.value);
         saw_played = true;
       }
     }

@@ -35,6 +35,11 @@ class KlUcb final : public ArmStatIndexPolicy {
   [[nodiscard]] static double kl_upper_bound(double p, double count,
                                              double budget) noexcept;
 
+ protected:
+  /// Bulk refresh with the ln t + c·ln ln t budget hoisted out of the
+  /// per-arm bisection loop.
+  void refresh_all_indices(TimeSlot t, double* out) const override;
+
  private:
   KlUcbOptions options_;
 };

@@ -12,14 +12,32 @@ namespace ncb {
 Moss::Moss(MossOptions options)
     : ArmStatIndexPolicy(options.seed), options_(options) {}
 
+IndexRefresh Moss::refresh_index(ArmId i, TimeSlot t) const {
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) {
+    return {std::numeric_limits<double>::infinity(), kIndexValidForever};
+  }
+  const double mean = stats_.mean(i);
+  if (options_.horizon > 0) {
+    // Fixed-horizon MOSS: the ratio uses n, not t, so the index only moves
+    // when the arm is played again.
+    const double ratio = static_cast<double>(options_.horizon) /
+                         (static_cast<double>(num_arms_) *
+                          static_cast<double>(count));
+    return {mean + exploration_width(ratio, static_cast<double>(count)),
+            kIndexValidForever};
+  }
+  // Anytime form: same width plateau as DFL-SSO (zero while t ≤ K·T_i).
+  const std::int64_t plateau = static_cast<std::int64_t>(num_arms_) * count;
+  if (t <= plateau) return {mean + 0.0, plateau};
+  const double ratio = static_cast<double>(t) /
+                       (static_cast<double>(num_arms_) *
+                        static_cast<double>(count));
+  return {mean + exploration_width(ratio, static_cast<double>(count)), t};
+}
+
 double Moss::index(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return std::numeric_limits<double>::infinity();
-  const double top = options_.horizon > 0 ? static_cast<double>(options_.horizon)
-                                          : static_cast<double>(t);
-  const double ratio = top / (static_cast<double>(num_arms_) *
-                              static_cast<double>(s.count));
-  return s.mean + exploration_width(ratio, static_cast<double>(s.count));
+  return refresh_index(i, t).value;
 }
 
 void Moss::observe(ArmId played, TimeSlot /*t*/,
@@ -27,7 +45,7 @@ void Moss::observe(ArmId played, TimeSlot /*t*/,
   // MOSS has no side information: consume only the played arm's sample.
   for (const Observation& obs : observations) {
     if (obs.arm == played) {
-      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+      absorb(obs.arm, obs.value);
       return;
     }
   }

@@ -31,6 +31,12 @@ class Moss final : public ArmStatIndexPolicy {
     return observation_count(i);
   }
 
+ protected:
+  [[nodiscard]] IndexRefreshMode refresh_mode() const override {
+    return IndexRefreshMode::kIncremental;
+  }
+  [[nodiscard]] IndexRefresh refresh_index(ArmId i, TimeSlot t) const override;
+
  private:
   MossOptions options_;
 };

@@ -29,6 +29,9 @@ void SwDflSso::evict_older_than(TimeSlot cutoff) {
     const Sample& s = samples_.front();
     --counts_[static_cast<std::size_t>(s.arm)];
     sums_[static_cast<std::size_t>(s.arm)] -= s.value;
+    // Eviction changes the arm's windowed statistics just like an
+    // observation does — its cached index must be recomputed.
+    mark_index_dirty(s.arm);
     samples_.pop_front();
   }
 }
@@ -39,14 +42,35 @@ double SwDflSso::window_mean(ArmId i) const {
                           : 0.0;
 }
 
+IndexRefresh SwDflSso::refresh_index(ArmId i, TimeSlot t) const {
+  const std::int64_t raw = counts_.at(static_cast<std::size_t>(i));
+  if (raw <= 0) {
+    return {std::numeric_limits<double>::infinity(), kIndexValidForever};
+  }
+  const double count = static_cast<double>(raw);
+  if (t >= options_.window) {
+    // The effective horizon is frozen at `window`: the index is
+    // t-independent and only observation/eviction dirty-marking moves it.
+    const double ratio = static_cast<double>(options_.window) /
+                         (static_cast<double>(num_arms_) * count);
+    return {window_mean(i) + exploration_width(ratio, count),
+            kIndexValidForever};
+  }
+  // t < window: effective horizon is t, so the DFL plateau argument
+  // applies — width is exactly zero while t ≤ K·c. If the plateau outlasts
+  // the window, the frozen ratio window/(K·c) ≤ 1 keeps it zero forever.
+  const std::int64_t plateau = static_cast<std::int64_t>(num_arms_) * raw;
+  if (t <= plateau) {
+    return {window_mean(i) + 0.0,
+            plateau >= options_.window ? kIndexValidForever : plateau};
+  }
+  const double ratio =
+      static_cast<double>(t) / (static_cast<double>(num_arms_) * count);
+  return {window_mean(i) + exploration_width(ratio, count), t};
+}
+
 double SwDflSso::index(ArmId i, TimeSlot t) const {
-  const auto count = static_cast<double>(counts_.at(static_cast<std::size_t>(i)));
-  if (count <= 0.0) return std::numeric_limits<double>::infinity();
-  // The effective horizon inside the window is min(t, window).
-  const double effective_t =
-      static_cast<double>(std::min<TimeSlot>(t, options_.window));
-  const double ratio = effective_t / (static_cast<double>(num_arms_) * count);
-  return window_mean(i) + exploration_width(ratio, count);
+  return refresh_index(i, t).value;
 }
 
 void SwDflSso::before_select(TimeSlot t) {
@@ -59,6 +83,7 @@ void SwDflSso::observe(ArmId /*played*/, TimeSlot t,
     samples_.push_back({t, obs.arm, obs.value});
     ++counts_[static_cast<std::size_t>(obs.arm)];
     sums_[static_cast<std::size_t>(obs.arm)] += obs.value;
+    mark_index_dirty(obs.arm);
   }
   evict_older_than(t - options_.window);
 }
@@ -96,6 +121,24 @@ double DiscountedDflSso::index(ArmId i, TimeSlot t) const {
           : static_cast<double>(t);
   const double ratio = effective_t / (static_cast<double>(num_arms_) * count);
   return discounted_mean(i) + exploration_width(ratio, count);
+}
+
+void DiscountedDflSso::refresh_all_indices(TimeSlot t, double* out) const {
+  // Effective horizon under discounting: 1/(1-γ) once saturated. Shared by
+  // every arm, so computed once per round.
+  const double effective_t =
+      options_.discount < 1.0
+          ? std::min(static_cast<double>(t), 1.0 / (1.0 - options_.discount))
+          : static_cast<double>(t);
+  const double k_arms = static_cast<double>(num_arms_);
+  for (std::size_t i = 0; i < num_arms_; ++i) {
+    if (counts_[i] <= 1e-12) {
+      out[i] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double ratio = effective_t / (k_arms * counts_[i]);
+    out[i] = sums_[i] / counts_[i] + exploration_width(ratio, counts_[i]);
+  }
 }
 
 void DiscountedDflSso::observe(ArmId /*played*/, TimeSlot /*t*/,

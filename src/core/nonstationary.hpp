@@ -44,6 +44,10 @@ class SwDflSso final : public SingleIndexPolicy {
  protected:
   void on_reset(const Graph& graph) override;
   void before_select(TimeSlot t) override;
+  [[nodiscard]] IndexRefreshMode refresh_mode() const override {
+    return IndexRefreshMode::kIncremental;
+  }
+  [[nodiscard]] IndexRefresh refresh_index(ArmId i, TimeSlot t) const override;
 
  private:
   void evict_older_than(TimeSlot cutoff);
@@ -81,6 +85,9 @@ class DiscountedDflSso final : public SingleIndexPolicy {
 
  protected:
   void on_reset(const Graph& graph) override;
+  /// Decay touches every arm every slot, so the index stays on the
+  /// every-round path; the effective horizon min(t, 1/(1-γ)) is hoisted.
+  void refresh_all_indices(TimeSlot t, double* out) const override;
 
  private:
   DiscountedDflSsoOptions options_;

@@ -13,19 +13,35 @@ Ucb1::Ucb1(Ucb1Options options)
     : ArmStatIndexPolicy(options.seed), options_(options) {}
 
 double Ucb1::index(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) return std::numeric_limits<double>::infinity();
   const double bonus = std::sqrt(options_.exploration *
                                  std::log(std::max<double>(static_cast<double>(t), 1.0)) /
-                                 static_cast<double>(s.count));
-  return s.mean + bonus;
+                                 static_cast<double>(count));
+  return stats_.mean(i) + bonus;
+}
+
+void Ucb1::refresh_all_indices(TimeSlot t, double* out) const {
+  // c·ln t is shared by every arm; hoisting it keeps the loop at one
+  // division + one sqrt per arm over the flat SoA arrays. The expression
+  // tree (c·lt)/T_i matches index() exactly, so the values are bit-equal.
+  const double clt =
+      options_.exploration *
+      std::log(std::max<double>(static_cast<double>(t), 1.0));
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
+  for (std::size_t k = 0; k < num_arms_; ++k) {
+    out[k] = counts[k] == 0
+                 ? std::numeric_limits<double>::infinity()
+                 : means[k] + std::sqrt(clt / static_cast<double>(counts[k]));
+  }
 }
 
 void Ucb1::observe(ArmId played, TimeSlot /*t*/,
                    ObservationSpan observations) {
   for (const Observation& obs : observations) {
     if (obs.arm == played) {
-      stats_.at(static_cast<std::size_t>(obs.arm)).add(obs.value);
+      absorb(obs.arm, obs.value);
       return;
     }
   }

@@ -27,6 +27,10 @@ class Ucb1 final : public ArmStatIndexPolicy {
     return observation_count(i);
   }
 
+ protected:
+  /// Bulk refresh with ln t hoisted out of the per-arm loop.
+  void refresh_all_indices(TimeSlot t, double* out) const override;
+
  private:
   Ucb1Options options_;
 };

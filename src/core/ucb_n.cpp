@@ -17,12 +17,26 @@ void UcbN::on_reset(const Graph& graph) {
 }
 
 double UcbN::index(ArmId i, TimeSlot t) const {
-  const ArmStat& s = stats_.at(static_cast<std::size_t>(i));
-  if (s.count == 0) return std::numeric_limits<double>::infinity();
+  const std::int64_t count = stats_.count(i);
+  if (count == 0) return std::numeric_limits<double>::infinity();
   const double bonus = std::sqrt(options_.exploration *
                                  std::log(std::max<double>(static_cast<double>(t), 1.0)) /
-                                 static_cast<double>(s.count));
-  return s.mean + bonus;
+                                 static_cast<double>(count));
+  return stats_.mean(i) + bonus;
+}
+
+void UcbN::refresh_all_indices(TimeSlot t, double* out) const {
+  // Same hoisted form as UCB1 — the counts here include side observations.
+  const double clt =
+      options_.exploration *
+      std::log(std::max<double>(static_cast<double>(t), 1.0));
+  const std::int64_t* counts = stats_.counts();
+  const double* means = stats_.means();
+  for (std::size_t k = 0; k < num_arms_; ++k) {
+    out[k] = counts[k] == 0
+                 ? std::numeric_limits<double>::infinity()
+                 : means[k] + std::sqrt(clt / static_cast<double>(counts[k]));
+  }
 }
 
 ArmId UcbN::refine_selection(ArmId best) {

@@ -10,7 +10,8 @@ namespace ncb {
 
 namespace {
 
-Graph erdos_renyi_bernoulli(std::size_t n, double p, Xoshiro256& rng) {
+Graph erdos_renyi_bernoulli(std::size_t n, double p, Xoshiro256& rng,
+                            GraphStorage storage) {
   std::vector<Edge> edges;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -19,14 +20,15 @@ Graph erdos_renyi_bernoulli(std::size_t n, double p, Xoshiro256& rng) {
       }
     }
   }
-  return Graph::from_unique_edges(n, edges);
+  return Graph::from_unique_edges(n, edges, storage);
 }
 
 /// Batagelj–Brandes skip sampling: the strict upper triangle is a linear
 /// index space of n(n-1)/2 pairs; between consecutive edges the number of
 /// skipped non-edges is geometric, so the loop runs once per *edge*.
-Graph erdos_renyi_geometric(std::size_t n, double p, Xoshiro256& rng) {
-  if (n < 2 || p <= 0.0) return Graph(n);
+Graph erdos_renyi_geometric(std::size_t n, double p, Xoshiro256& rng,
+                            GraphStorage storage) {
+  if (n < 2 || p <= 0.0) return Graph(n, storage);
   if (p >= 1.0) return complete_graph(n);
   const std::uint64_t total =
       static_cast<std::uint64_t>(n) * (n - 1) / 2;
@@ -52,20 +54,20 @@ Graph erdos_renyi_geometric(std::size_t n, double p, Xoshiro256& rng) {
     edges.emplace_back(static_cast<ArmId>(row), static_cast<ArmId>(col));
     if (++pos >= total) break;
   }
-  return Graph::from_unique_edges(n, edges);
+  return Graph::from_unique_edges(n, edges, storage);
 }
 
 }  // namespace
 
 Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng,
-                  ErSampling sampling) {
+                  ErSampling sampling, GraphStorage storage) {
   // Negated comparison also rejects NaN (all NaN comparisons are false).
   if (!(p >= 0.0 && p <= 1.0)) {
     throw std::invalid_argument("erdos_renyi: p outside [0,1]");
   }
   return sampling == ErSampling::kGeometric
-             ? erdos_renyi_geometric(n, p, rng)
-             : erdos_renyi_bernoulli(n, p, rng);
+             ? erdos_renyi_geometric(n, p, rng, storage)
+             : erdos_renyi_bernoulli(n, p, rng, storage);
 }
 
 Graph complete_graph(std::size_t n) {

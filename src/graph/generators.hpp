@@ -30,8 +30,10 @@ enum class ErSampling {
 };
 
 /// Erdős–Rényi G(n, p): every pair connected independently w.p. p.
+/// `storage` = kCsrOnly skips the Θ(n²/64) bitset rows for large-K runs.
 [[nodiscard]] Graph erdos_renyi(std::size_t n, double p, Xoshiro256& rng,
-                                ErSampling sampling = ErSampling::kGeometric);
+                                ErSampling sampling = ErSampling::kGeometric,
+                                GraphStorage storage = GraphStorage::kCsrAndBits);
 
 /// Complete graph K_n (every pull observes everything).
 [[nodiscard]] Graph complete_graph(std::size_t n);

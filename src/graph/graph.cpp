@@ -19,19 +19,21 @@ void validate_edges(std::size_t num_vertices, const std::vector<Edge>& edges) {
 
 }  // namespace
 
-Graph::Graph(std::size_t num_vertices) : num_vertices_(num_vertices) {
+Graph::Graph(std::size_t num_vertices, GraphStorage storage)
+    : num_vertices_(num_vertices), storage_(storage) {
   build_csr({}, /*dedup=*/false);
 }
 
-Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges)
-    : num_vertices_(num_vertices) {
+Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
+             GraphStorage storage)
+    : num_vertices_(num_vertices), storage_(storage) {
   validate_edges(num_vertices_, edges);
   build_csr(edges, /*dedup=*/true);
 }
 
 Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
-             UniqueEdgesTag)
-    : num_vertices_(num_vertices) {
+             GraphStorage storage, UniqueEdgesTag)
+    : num_vertices_(num_vertices), storage_(storage) {
   validate_edges(num_vertices_, edges);
   build_csr(edges, /*dedup=*/false);
 #ifndef NDEBUG
@@ -47,8 +49,9 @@ Graph::Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
 }
 
 Graph Graph::from_unique_edges(std::size_t num_vertices,
-                               const std::vector<Edge>& edges) {
-  return Graph(num_vertices, edges, UniqueEdgesTag{});
+                               const std::vector<Edge>& edges,
+                               GraphStorage storage) {
+  return Graph(num_vertices, edges, storage, UniqueEdgesTag{});
 }
 
 void Graph::build_csr(const std::vector<Edge>& edges, bool dedup) {
@@ -132,7 +135,13 @@ void Graph::build_csr(const std::vector<Edge>& edges, bool dedup) {
     while (k < end) closed_[out++] = neighbors_[k++];
   }
 
-  // Flat bitset rows (adjacency, then adjacency ∪ {i}).
+  // Flat bitset rows (adjacency, then adjacency ∪ {i}); skipped in
+  // kCsrOnly mode, where they would cost Θ(K²/64) memory.
+  if (storage_ == GraphStorage::kCsrOnly) {
+    adj_words_.clear();
+    closed_words_.clear();
+    return;
+  }
   adj_words_.assign(n * row_stride_, 0);
   closed_words_.assign(n * row_stride_, 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -149,7 +158,12 @@ void Graph::build_csr(const std::vector<Edge>& edges, bool dedup) {
 
 bool Graph::has_edge(ArmId u, ArmId v) const {
   if (!is_vertex(u) || !is_vertex(v) || u == v) return false;
-  return neighbors_bits(u).test(static_cast<std::size_t>(v));
+  if (has_bitset_rows()) {
+    return neighbors_bits(u).test(static_cast<std::size_t>(v));
+  }
+  // CSR-only: rows are sorted, so membership is a binary search.
+  const ArmSpan row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
 }
 
 std::vector<Edge> Graph::edges() const {
@@ -171,7 +185,13 @@ Bitset64 Graph::strategy_neighborhood(const ArmSet& arms) const {
     if (!is_vertex(i)) {
       throw std::out_of_range("strategy_neighborhood: arm out of range");
     }
-    acc |= closed_neighborhood_bits(i);
+    if (has_bitset_rows()) {
+      acc |= closed_neighborhood_bits(i);
+    } else {
+      for (const ArmId j : closed_neighborhood(i)) {
+        acc.set(static_cast<std::size_t>(j));
+      }
+    }
   }
   return acc;
 }
@@ -202,14 +222,20 @@ Graph Graph::complement() const {
   const std::size_t n = num_vertices_;
   std::vector<Edge> edges_out;
   for (std::size_t i = 0; i < n; ++i) {
-    const BitRow row = neighbors_bits(static_cast<ArmId>(i));
+    // Walk the sorted neighbor row in step with j; works in both storage
+    // modes without touching the bitset rows.
+    const ArmSpan row = neighbors(static_cast<ArmId>(i));
+    const ArmId* it = std::lower_bound(row.begin(), row.end(),
+                                       static_cast<ArmId>(i + 1));
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (!row.test(j)) {
-        edges_out.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
+      if (it != row.end() && static_cast<std::size_t>(*it) == j) {
+        ++it;
+        continue;
       }
+      edges_out.emplace_back(static_cast<ArmId>(i), static_cast<ArmId>(j));
     }
   }
-  return Graph(n, edges_out, UniqueEdgesTag{});
+  return Graph(n, edges_out, storage_, UniqueEdgesTag{});
 }
 
 Graph Graph::induced_subgraph(const ArmSet& vertices,
@@ -235,7 +261,7 @@ Graph Graph::induced_subgraph(const ArmSet& vertices,
     }
   }
   if (original_ids) *original_ids = vertices;
-  return Graph(vertices.size(), sub_edges, UniqueEdgesTag{});
+  return Graph(vertices.size(), sub_edges, storage_, UniqueEdgesTag{});
 }
 
 std::string Graph::to_string() const {

@@ -35,25 +35,44 @@ using Edge = std::pair<ArmId, ArmId>;
 /// Sorted view over a run of arm ids inside the graph's CSR storage.
 using ArmSpan = Span<ArmId>;
 
+/// Which representations a Graph materializes. The bitset rows cost
+/// Θ(K²/64) memory (2.5 GB at K = 10⁵, far beyond RAM at 10⁶), so
+/// large-K sweeps build CSR-only graphs: every span accessor and the
+/// policies' hot paths work unchanged, has_edge falls back to binary
+/// search, and only the explicit bit-row accessors are unavailable.
+enum class GraphStorage {
+  kCsrAndBits,  ///< CSR arrays + per-vertex bitset rows (default).
+  kCsrOnly,     ///< CSR arrays only; O(K + E) memory for large K.
+};
+
 class Graph {
  public:
   /// Empty graph on `num_vertices` vertices.
-  explicit Graph(std::size_t num_vertices);
+  explicit Graph(std::size_t num_vertices,
+                 GraphStorage storage = GraphStorage::kCsrAndBits);
 
   /// Graph from an explicit edge list. Self-loops are rejected; duplicate
   /// edges are deduplicated.
-  Graph(std::size_t num_vertices, const std::vector<Edge>& edges);
+  Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
+        GraphStorage storage = GraphStorage::kCsrAndBits);
 
   /// O(E) fast path for generators: the caller guarantees `edges` contains
   /// no duplicates (in either orientation), so the dedup pass is skipped.
   /// Self-loops and out-of-range endpoints are still rejected; duplicate
   /// edges are a debug-only assert (and silently corrupt num_edges() in
   /// release builds).
-  [[nodiscard]] static Graph from_unique_edges(std::size_t num_vertices,
-                                               const std::vector<Edge>& edges);
+  [[nodiscard]] static Graph from_unique_edges(
+      std::size_t num_vertices, const std::vector<Edge>& edges,
+      GraphStorage storage = GraphStorage::kCsrAndBits);
 
   [[nodiscard]] std::size_t num_vertices() const noexcept { return num_vertices_; }
   [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  [[nodiscard]] GraphStorage storage() const noexcept { return storage_; }
+  /// True when the bitset rows were materialized (kCsrAndBits).
+  [[nodiscard]] bool has_bitset_rows() const noexcept {
+    return storage_ == GraphStorage::kCsrAndBits;
+  }
 
   [[nodiscard]] bool has_edge(ArmId u, ArmId v) const;
 
@@ -73,15 +92,18 @@ class Graph {
   }
 
   /// Closed neighborhood as a bitset row (for unions: Y_x = OR of rows).
+  /// Requires has_bitset_rows().
   [[nodiscard]] BitRow closed_neighborhood_bits(ArmId i) const noexcept {
     assert(is_vertex(i));
+    assert(has_bitset_rows());
     return {closed_words_.data() + static_cast<std::size_t>(i) * row_stride_,
             words_per_row_, num_vertices_};
   }
 
-  /// Open-neighborhood bitset row.
+  /// Open-neighborhood bitset row. Requires has_bitset_rows().
   [[nodiscard]] BitRow neighbors_bits(ArmId i) const noexcept {
     assert(is_vertex(i));
+    assert(has_bitset_rows());
     return {adj_words_.data() + static_cast<std::size_t>(i) * row_stride_,
             words_per_row_, num_vertices_};
   }
@@ -123,7 +145,7 @@ class Graph {
  private:
   struct UniqueEdgesTag {};
   Graph(std::size_t num_vertices, const std::vector<Edge>& edges,
-        UniqueEdgesTag);
+        GraphStorage storage, UniqueEdgesTag);
 
   [[nodiscard]] bool is_vertex(ArmId i) const noexcept {
     return i >= 0 && static_cast<std::size_t>(i) < num_vertices_;
@@ -135,6 +157,7 @@ class Graph {
 
   std::size_t num_vertices_ = 0;
   std::size_t num_edges_ = 0;
+  GraphStorage storage_ = GraphStorage::kCsrAndBits;
   std::vector<std::size_t> offsets_;    ///< n+1 prefix sums of degrees.
   std::vector<ArmId> neighbors_;        ///< 2E entries, sorted per row.
   std::vector<ArmId> closed_;           ///< 2E+n entries, sorted per row.

@@ -1,0 +1,110 @@
+// Reservoir argmax over a flat score array — the select hot path's scan.
+//
+// Semantics are pinned to the historical per-arm loop used by every index
+// policy (and by epsilon-greedy's exploit step): walk scores in order,
+// track the running maximum, and break ties among equal running maxima by
+// reservoir sampling — the j-th element tied with the current maximum
+// replaces it with probability 1/j, consuming exactly one uniform_int draw
+// per tie. The RNG draw count and order are part of the reproducibility
+// contract (sweep output is byte-identical across refactors), so any
+// faster implementation must replay the draws of that exact loop.
+//
+// This implementation is block-vectorized: scores are scanned in fixed-size
+// blocks; each block's maximum is reduced first with four independent,
+// branch-free accumulator chains (compiles to pipelined maxsd/maxpd — no
+// data-dependent branches), and blocks whose maximum stays strictly below
+// the running maximum are skipped outright, since no element in them can
+// update the maximum or tie with it. Only blocks that contain a potential
+// update are re-walked with the exact historical loop, so the RNG sees the
+// same draw sequence while the common case (steady state, distinct finite
+// indices) runs at memory speed. NaN scores never win and never tie, same
+// as the historical loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ncb {
+
+/// Running reservoir state, exposed so callers scanning in several chunks
+/// (or mixing scanned and skipped regions) carry ties across chunks.
+struct ArgmaxState {
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t ties = 0;
+  std::uint64_t draws = 0;  ///< uniform_int calls consumed by tie-breaking.
+};
+
+/// Folds scores[first, last) into `state` with the exact historical
+/// reservoir loop (one uniform_int(ties) draw per running-max tie).
+inline void reservoir_scan(const double* scores, std::size_t first,
+                           std::size_t last, ArgmaxState& state,
+                           Xoshiro256& rng) {
+  for (std::size_t i = first; i < last; ++i) {
+    const double s = scores[i];
+    if (s > state.best_score) {
+      state.best_score = s;
+      state.best = i;
+      state.ties = 1;
+    } else if (s == state.best_score) {
+      ++state.ties;
+      ++state.draws;
+      if (rng.uniform_int(state.ties) == 0) state.best = i;
+    }
+  }
+}
+
+/// Branch-free maximum of scores[first, last): four independent accumulator
+/// chains, `m = s > m ? s : m` per lane (NaN loses). Used to prove a block
+/// cannot touch the running maximum before paying for the exact scan.
+inline double block_max(const double* scores, std::size_t first,
+                        std::size_t last) noexcept {
+  const double kNegInf = -std::numeric_limits<double>::infinity();
+  double m0 = kNegInf, m1 = kNegInf, m2 = kNegInf, m3 = kNegInf;
+  std::size_t i = first;
+  for (; i + 4 <= last; i += 4) {
+    const double s0 = scores[i], s1 = scores[i + 1];
+    const double s2 = scores[i + 2], s3 = scores[i + 3];
+    m0 = s0 > m0 ? s0 : m0;
+    m1 = s1 > m1 ? s1 : m1;
+    m2 = s2 > m2 ? s2 : m2;
+    m3 = s3 > m3 ? s3 : m3;
+  }
+  for (; i < last; ++i) {
+    const double s = scores[i];
+    m0 = s > m0 ? s : m0;
+  }
+  m0 = m1 > m0 ? m1 : m0;
+  m2 = m3 > m2 ? m3 : m2;
+  return m2 > m0 ? m2 : m0;
+}
+
+/// Argmax of scores[0, n) with reservoir tie-breaking, block-skipping
+/// regions that provably cannot update or tie the running maximum.
+/// Returns the selected position; `draws_out` (optional) receives the
+/// number of uniform_int draws consumed. Requires n > 0.
+inline std::size_t reservoir_argmax(const double* scores, std::size_t n,
+                                    Xoshiro256& rng,
+                                    std::uint64_t* draws_out = nullptr) {
+  constexpr std::size_t kBlock = 256;
+  ArgmaxState state;
+  for (std::size_t begin = 0; begin < n; begin += kBlock) {
+    const std::size_t end = begin + kBlock < n ? begin + kBlock : n;
+    // Skip iff every element is strictly below the running maximum; the
+    // >= comparison keeps -inf/+inf plateaus and first-block semantics
+    // exactly on the historical path (NaN-only blocks reduce to -inf and
+    // are scanned only while best_score is still -inf, where the
+    // historical loop also ignores them).
+    if (block_max(scores, begin, end) >= state.best_score) {
+      reservoir_scan(scores, begin, end, state, rng);
+    }
+  }
+  if (draws_out != nullptr) *draws_out += state.draws;
+  return state.best;
+}
+
+}  // namespace ncb
