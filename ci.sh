@@ -4,11 +4,13 @@
 #
 # Usage: ./ci.sh            — -Werror Release build, full ctest, observe-path
 #                             smoke, sweep-engine smoke (resume round-trip +
-#                             thread determinism), then ASan/UBSan ctest.
+#                             thread determinism), serve smoke (real server +
+#                             driver + SIGTERM drain), then ASan/UBSan ctest.
 #        ./ci.sh bench      — -Werror Release build, then the tracked
 #                             benchmark suites (micro_policies + scaling_k)
 #                             in Google Benchmark JSON mode, merged into
-#                             BENCH_graph.json at the repo root.
+#                             BENCH_graph.json at the repo root, plus the
+#                             serve throughput bench into BENCH_serve.json.
 #        NCB_CI_JOBS=N ./ci.sh          — override parallelism.
 #        NCB_BENCH_MIN_TIME=0.5 ./ci.sh bench — slower, steadier timings.
 set -euo pipefail
@@ -99,6 +101,36 @@ EOF
   grep -q 'requeued 1 assignments' build/fig3_dist.log
   cmp build/fig3_inproc.json build/fig3_dist.json
   echo "sweep smoke: fig3 across 4 workers (one SIGKILLed) byte-identical"
+}
+
+# Serve smoke: a real ncb_serve process (engine + event log + reactor)
+# answers 10k driver requests over 2 connections, then gets SIGTERM. The
+# server must drain and exit 0, and the log must hold every decision with
+# every feedback joined — the zero-torn/zero-lost-records guarantee, checked
+# through the actual binaries on every CI run.
+serve_smoke() {
+  local sock=build/serve_smoke.sock log=build/serve_smoke.ncbl server_pid
+  rm -f "$sock" "$log"
+  ./build/examples/ncb_serve --socket "$sock" --policy 'eps-greedy:eps=0' \
+      --epsilon 0.1 --arms 200 --graph er --edge-prob 0.1 --seed 7 \
+      --log "$log" > build/serve_smoke.out 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 200); do [ -S "$sock" ] && break; sleep 0.05; done
+  if ! ./build/examples/ncb_serve_driver --socket "$sock" --requests 10000 \
+      --connections 2 --keys 64 --arms 200 --graph er --edge-prob 0.1 \
+      --seed 7; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" || true
+    cat build/serve_smoke.out >&2
+    return 1
+  fi
+  kill -TERM "$server_pid"
+  wait "$server_pid"  # non-zero exit (or a crash) fails the stage
+  ./build/examples/ncb_serve --inspect-log "$log" \
+      | tee build/serve_smoke.inspect
+  grep -q 'records=20000 decisions=10000 feedbacks=10000 joined=10000' \
+      build/serve_smoke.inspect
+  echo "serve smoke: 10k decisions / 2 connections, 10000/10000 joined, clean SIGTERM drain"
 }
 
 asan() {
@@ -204,15 +236,83 @@ print("bench guard: no tracked benchmark regressed beyond 1.5x")
 PY
 }
 
+# Serve throughput bench: the load driver against a real K=10^4 server
+# (event log on), merged into tracked BENCH_serve.json. Guard: fail when
+# sustained QPS drops below 1/1.5 of the committed baseline.
+bench_serve() {
+  local sock=build/bench_serve.sock log=build/bench_serve.ncbl server_pid
+  rm -f "$sock" "$log"
+  ./build/examples/ncb_serve --socket "$sock" --policy 'eps-greedy:eps=0' \
+      --epsilon 0.05 --arms 10000 --graph er --edge-prob 0.001 \
+      --seed 20170605 --log "$log" > build/bench_serve_server.out 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 200); do [ -S "$sock" ] && break; sleep 0.05; done
+  if ! ./build/examples/ncb_serve_driver --socket "$sock" --requests 200000 \
+      --connections 4 --pipeline 8 --keys 1024 --arms 10000 --graph er \
+      --edge-prob 0.001 --seed 20170605 --reward noisy \
+      --out build/bench_serve_run.json; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" || true
+    cat build/bench_serve_server.out >&2
+    return 1
+  fi
+  kill -TERM "$server_pid"
+  wait "$server_pid"
+  # Every decision and every feedback must be in the log, fully joined.
+  ./build/examples/ncb_serve --inspect-log "$log" \
+      | tee build/bench_serve.inspect
+  grep -q 'records=400000 decisions=200000 feedbacks=200000 joined=200000' \
+      build/bench_serve.inspect
+  if git show HEAD:BENCH_serve.json > build/bench_serve_baseline.json \
+      2>/dev/null; then
+    :
+  else
+    rm -f build/bench_serve_baseline.json
+  fi
+  python3 - <<'PY'
+import json
+import os
+import sys
+
+THRESHOLD = 1.5
+
+with open("build/bench_serve_run.json") as f:
+    run = json.load(f)
+with open("BENCH_serve.json", "w") as f:
+    json.dump({"schema": 1, "serve": run}, f, indent=1)
+    f.write("\n")
+print(f"wrote BENCH_serve.json: {run['qps']:.0f} qps, "
+      f"p50={run['p50_us']} us p99={run['p99_us']} us "
+      f"p999={run['p999_us']} us")
+
+if not os.path.exists("build/bench_serve_baseline.json"):
+    print("serve bench guard: no committed BENCH_serve.json baseline — skipped")
+    sys.exit(0)
+with open("build/bench_serve_baseline.json") as f:
+    base = json.load(f)["serve"]
+ratio = base["qps"] / run["qps"] if run["qps"] > 0 else float("inf")
+print(f"serve bench guard: qps {base['qps']:.0f} -> {run['qps']:.0f} "
+      f"({ratio:.2f}x slower)" if ratio > 1 else
+      f"serve bench guard: qps {base['qps']:.0f} -> {run['qps']:.0f} (faster)")
+if ratio > THRESHOLD:
+    print(f"serve bench guard: throughput regressed beyond {THRESHOLD}x")
+    sys.exit(1)
+PY
+}
+
 if [ "${1:-}" = "bench" ]; then
   stage "build" "-Werror Release build" release_build
   stage "bench" "tracked benches: micro_policies + scaling_k -> BENCH_graph.json" \
         bench_tracked
+  stage "serve-bench" "serve bench: 200k decisions @ K=10^4 -> BENCH_serve.json" \
+        bench_serve
 else
   stage "tier-1" "tier-1: -Werror Release build + full test suite" tier1
   stage "smoke" "observe-path smoke: batched vs per-edge delivery must run" smoke
   stage "sweep" "sweep smoke: resume + thread/worker determinism + kill-requeue" \
         sweep_smoke
+  stage "serve" "serve smoke: 10k decisions over 2 connections + SIGTERM drain" \
+        serve_smoke
   stage "asan" "sanitizers: ASan/UBSan build + test suite" asan
 fi
 

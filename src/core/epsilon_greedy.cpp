@@ -21,6 +21,7 @@ void EpsilonGreedy::reset(const Graph& graph) {
   num_arms_ = graph.num_vertices();
   stats_.reset(num_arms_);
   rng_ = Xoshiro256(options_.seed);
+  unvisited_cursor_ = 0;
 }
 
 double EpsilonGreedy::epsilon_at(TimeSlot t) const {
@@ -32,10 +33,15 @@ double EpsilonGreedy::epsilon_at(TimeSlot t) const {
 
 ArmId EpsilonGreedy::select(TimeSlot t) {
   if (num_arms_ == 0) throw std::logic_error("EpsilonGreedy: reset() not called");
-  // Explore unvisited arms first so the greedy step has data.
+  // Explore unvisited arms first so the greedy step has data. The cursor
+  // only moves forward (counts are monotone), so returns are identical to
+  // the historical full scan at amortized O(1) per call.
   const std::int64_t* counts = stats_.counts();
-  for (std::size_t i = 0; i < num_arms_; ++i) {
-    if (counts[i] == 0) return static_cast<ArmId>(i);
+  while (unvisited_cursor_ < num_arms_ && counts[unvisited_cursor_] != 0) {
+    ++unvisited_cursor_;
+  }
+  if (unvisited_cursor_ < num_arms_) {
+    return static_cast<ArmId>(unvisited_cursor_);
   }
   if (rng_.bernoulli(epsilon_at(t))) {
     return static_cast<ArmId>(rng_.uniform_int(num_arms_));

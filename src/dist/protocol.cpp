@@ -103,11 +103,40 @@ void WireReader::finish() const {
   }
 }
 
+const char* frame_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHello:
+      return "Hello";
+    case MsgType::kHelloAck:
+      return "HelloAck";
+    case MsgType::kJobAssign:
+      return "JobAssign";
+    case MsgType::kJobResult:
+      return "JobResult";
+    case MsgType::kWorkerError:
+      return "WorkerError";
+    case MsgType::kShutdown:
+      return "Shutdown";
+    case MsgType::kDecideRequest:
+      return "DecideRequest";
+    case MsgType::kDecideReply:
+      return "DecideReply";
+    case MsgType::kFeedback:
+      return "Feedback";
+  }
+  return "unknown";
+}
+
+std::string frame_type_label(std::uint8_t raw_type) {
+  return std::string(frame_type_name(static_cast<MsgType>(raw_type))) + " (" +
+         std::to_string(raw_type) + ")";
+}
+
 std::string encode_hello(const HelloMsg& msg) {
   WireWriter out;
   out.put_u32(msg.magic);
   out.put_u32(msg.protocol_version);
-  out.put_u32(msg.sweep_schema);
+  out.put_u32(msg.schema);
   return out.take();
 }
 
@@ -116,7 +145,7 @@ HelloMsg decode_hello(const std::string& payload) {
   HelloMsg msg;
   msg.magic = in.get_u32();
   msg.protocol_version = in.get_u32();
-  msg.sweep_schema = in.get_u32();
+  msg.schema = in.get_u32();
   in.finish();
   return msg;
 }
@@ -125,16 +154,16 @@ std::optional<std::string> validate_hello(const HelloMsg& msg,
                                           std::uint32_t expected_schema) {
   if (msg.magic != kProtocolMagic) {
     return "handshake: bad magic 0x" + std::to_string(msg.magic) +
-           " (peer is not an ncb_sweep worker)";
+           " (peer does not speak the ncb protocol)";
   }
   if (msg.protocol_version != kProtocolVersion) {
-    return "handshake: protocol version mismatch (worker v" +
-           std::to_string(msg.protocol_version) + ", coordinator v" +
+    return "handshake: protocol version mismatch (peer v" +
+           std::to_string(msg.protocol_version) + ", expected v" +
            std::to_string(kProtocolVersion) + ")";
   }
-  if (msg.sweep_schema != expected_schema) {
-    return "handshake: sweep schema mismatch (worker schema " +
-           std::to_string(msg.sweep_schema) + ", coordinator schema " +
+  if (msg.schema != expected_schema) {
+    return "handshake: schema mismatch (peer schema " +
+           std::to_string(msg.schema) + ", expected schema " +
            std::to_string(expected_schema) + ")";
   }
   return std::nullopt;
@@ -243,6 +272,62 @@ WorkerErrorMsg decode_worker_error(const std::string& payload) {
   return msg;
 }
 
+std::string encode_decide_request(const DecideRequestMsg& msg) {
+  WireWriter out;
+  out.put_u64(msg.request_id);
+  out.put_u64(msg.slot);
+  out.put_string(msg.user_key);
+  return out.take();
+}
+
+DecideRequestMsg decode_decide_request(const std::string& payload) {
+  WireReader in(payload);
+  DecideRequestMsg msg;
+  msg.request_id = in.get_u64();
+  msg.slot = in.get_u64();
+  msg.user_key = in.get_string();
+  in.finish();
+  return msg;
+}
+
+std::string encode_decide_reply(const DecideReplyMsg& msg) {
+  WireWriter out;
+  out.put_u64(msg.request_id);
+  out.put_u64(msg.slot);
+  out.put_u64(msg.decision_id);
+  out.put_u32(msg.action);
+  out.put_double(msg.propensity);
+  return out.take();
+}
+
+DecideReplyMsg decode_decide_reply(const std::string& payload) {
+  WireReader in(payload);
+  DecideReplyMsg msg;
+  msg.request_id = in.get_u64();
+  msg.slot = in.get_u64();
+  msg.decision_id = in.get_u64();
+  msg.action = in.get_u32();
+  msg.propensity = in.get_double();
+  in.finish();
+  return msg;
+}
+
+std::string encode_feedback(const FeedbackMsg& msg) {
+  WireWriter out;
+  out.put_u64(msg.decision_id);
+  out.put_double(msg.reward);
+  return out.take();
+}
+
+FeedbackMsg decode_feedback(const std::string& payload) {
+  WireReader in(payload);
+  FeedbackMsg msg;
+  msg.decision_id = in.get_u64();
+  msg.reward = in.get_double();
+  in.finish();
+  return msg;
+}
+
 // ------------------------------------------------------------- framing ---
 
 namespace {
@@ -251,18 +336,19 @@ constexpr std::size_t kFrameHeaderBytes = 5;  // u32 length + u8 type.
 
 bool valid_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         type <= static_cast<std::uint8_t>(MsgType::kShutdown);
+         type <= static_cast<std::uint8_t>(MsgType::kFeedback);
 }
 
 /// Parses a frame header; throws on an unusable length or type.
 void check_header(std::uint32_t length, std::uint8_t type) {
   if (length > kMaxFramePayload) {
     throw std::invalid_argument("frame: oversized payload length " +
-                                std::to_string(length));
+                                std::to_string(length) + " for " +
+                                frame_type_label(type) + " frame");
   }
   if (!valid_type(type)) {
     throw std::invalid_argument("frame: unknown message type " +
-                                std::to_string(type));
+                                frame_type_label(type));
   }
 }
 
@@ -308,30 +394,37 @@ ssize_t write_some(int fd, const char* data, std::size_t size) {
 
 }  // namespace
 
-void write_frame(int fd, MsgType type, const std::string& payload) {
+void append_frame(std::string& out, MsgType type, const std::string& payload) {
   if (payload.size() > kMaxFramePayload) {
-    throw std::runtime_error("frame: payload exceeds limit");
+    throw std::runtime_error("frame: payload exceeds limit for " +
+                             frame_type_label(static_cast<std::uint8_t>(type)) +
+                             " frame");
   }
-  std::string wire;
-  wire.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
   const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i) {
-    wire.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+    out.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
   }
-  wire.push_back(static_cast<char>(type));
-  wire.append(payload);
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+}
+
+void write_frame(int fd, MsgType type, const std::string& payload) {
+  std::string wire;
+  append_frame(wire, type, payload);
 
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = write_some(fd, wire.data() + sent, wire.size() - sent);
     if (n < 0) {
       if (errno == EINTR) continue;
+      const std::string detail =
+          std::string("frame write failed (") + frame_type_name(type) +
+          "): " + std::strerror(errno);
       if (errno == EPIPE || errno == ECONNRESET) {
-        throw PeerClosedError(std::string("frame write failed: ") +
-                              std::strerror(errno));
+        throw PeerClosedError(detail);
       }
-      throw std::runtime_error(std::string("frame write failed: ") +
-                               std::strerror(errno));
+      throw std::runtime_error(detail);
     }
     sent += static_cast<std::size_t>(n);
   }
@@ -378,7 +471,8 @@ std::optional<Frame> read_frame(int fd) {
   frame.type = static_cast<MsgType>(type);
   frame.payload.resize(length);
   if (length > 0 && !read_exact(fd, frame.payload.data(), length)) {
-    throw std::runtime_error("frame read failed: EOF before payload");
+    throw std::runtime_error(std::string("frame read failed: EOF before ") +
+                             frame_type_name(frame.type) + " payload");
   }
   return frame;
 }

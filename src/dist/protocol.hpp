@@ -1,15 +1,18 @@
-// Wire protocol for the distributed sweep dispatch layer.
+// Wire protocol shared by the distributed sweep dispatch layer and the
+// online decision service (src/serve/).
 //
-// Everything between a coordinator and a worker travels as length-prefixed
-// frames over a byte stream (a socketpair today; the framing never assumes
-// more than an ordered stream, so any future transport — TCP, ssh pipes —
-// reuses it unchanged):
+// Everything between two peers travels as length-prefixed frames over a
+// byte stream (a socketpair or AF_UNIX connection today; the framing never
+// assumes more than an ordered stream, so any future transport — TCP, ssh
+// pipes — reuses it unchanged):
 //
 //     u32 payload-length (LE) | u8 message-type | payload bytes
 //
 // The first frame in each direction is a versioned handshake (Hello /
-// HelloAck); mismatched protocol or sweep-schema versions abort the run
-// with a clear error instead of misinterpreting bytes. Payloads are packed
+// HelloAck); mismatched protocol or application-schema versions abort the
+// run with a clear error instead of misinterpreting bytes. The schema word
+// of the Hello is application-defined: sweep workers send the sweep output
+// schema, serve clients send the serve wire schema. Payloads are packed
 // with WireWriter/WireReader (fixed-width LE integers, bit-cast doubles,
 // u32-length-prefixed strings); every decoder validates lengths, so
 // truncated or oversized frames are rejected, never trusted.
@@ -41,19 +44,31 @@ class PeerClosedError : public std::runtime_error {
 /// accidentally connected to the coordinator fd.
 inline constexpr std::uint32_t kProtocolMagic = 0x4e434250;  // "NCBP"
 /// Bump on any framing or payload layout change.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: serve frame types (DecideRequest / DecideReply / Feedback).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Upper bound on a frame payload; a corrupted length prefix fails fast
 /// instead of attempting a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 
 enum class MsgType : std::uint8_t {
-  kHello = 1,        ///< worker → coordinator: magic + versions.
-  kHelloAck = 2,     ///< coordinator → worker: protocol version echo.
-  kJobAssign = 3,    ///< coordinator → worker: one SweepJob + run options.
-  kJobResult = 4,    ///< worker → coordinator: rendered job record.
-  kWorkerError = 5,  ///< worker → coordinator: fatal job/protocol error.
-  kShutdown = 6,     ///< coordinator → worker: drain and exit 0.
+  kHello = 1,          ///< client/worker → server: magic + versions.
+  kHelloAck = 2,       ///< server → client/worker: protocol version echo.
+  kJobAssign = 3,      ///< coordinator → worker: one SweepJob + run options.
+  kJobResult = 4,      ///< worker → coordinator: rendered job record.
+  kWorkerError = 5,    ///< worker → coordinator: fatal job/protocol error.
+  kShutdown = 6,       ///< coordinator → worker: drain and exit 0.
+  kDecideRequest = 7,  ///< serve client → server: one decision request.
+  kDecideReply = 8,    ///< server → serve client: action + propensity.
+  kFeedback = 9,       ///< serve client → server: reward join (no reply).
 };
+
+/// Stable display name of a message type ("Hello", "DecideReply", ...);
+/// "unknown" for values outside the enum.
+[[nodiscard]] const char* frame_type_name(MsgType type) noexcept;
+
+/// Name plus the numeric value, e.g. "DecideReply (8)" or "unknown (42)" —
+/// what the framing layer puts in error messages.
+[[nodiscard]] std::string frame_type_label(std::uint8_t raw_type);
 
 struct Frame {
   MsgType type = MsgType::kShutdown;
@@ -99,7 +114,9 @@ class WireReader {
 struct HelloMsg {
   std::uint32_t magic = kProtocolMagic;
   std::uint32_t protocol_version = kProtocolVersion;
-  std::uint32_t sweep_schema = 0;  ///< exp::kSweepSchemaVersion of the worker.
+  /// Application schema word: exp::kSweepSchemaVersion for sweep workers,
+  /// kServeWireSchema for serve clients.
+  std::uint32_t schema = 0;
 };
 
 struct JobAssignMsg {
@@ -142,6 +159,41 @@ void decode_hello_ack(const std::string& payload);
 [[nodiscard]] std::string encode_worker_error(const WorkerErrorMsg& msg);
 [[nodiscard]] WorkerErrorMsg decode_worker_error(const std::string& payload);
 
+// ------------------------------------------------- serve message types ---
+
+/// Serve wire schema (the Hello schema word of a serve client). Bump when
+/// the decide/reply/feedback payloads or their semantics change.
+inline constexpr std::uint32_t kServeWireSchema = 1;
+
+struct DecideRequestMsg {
+  std::uint64_t request_id = 0;  ///< Client-chosen token, echoed verbatim.
+  std::uint64_t slot = 0;        ///< Client round tag, echoed verbatim.
+  std::string user_key;          ///< Keys the per-user exploration stream.
+};
+
+struct DecideReplyMsg {
+  std::uint64_t request_id = 0;  ///< Echo of the request.
+  std::uint64_t slot = 0;        ///< Echo of the request.
+  std::uint64_t decision_id = 0; ///< Server-assigned join key for Feedback.
+  std::uint32_t action = 0;      ///< Chosen arm.
+  double propensity = 0.0;       ///< P(action) under the logging policy.
+};
+
+struct FeedbackMsg {
+  std::uint64_t decision_id = 0;
+  double reward = 0.0;
+};
+
+[[nodiscard]] std::string encode_decide_request(const DecideRequestMsg& msg);
+[[nodiscard]] DecideRequestMsg decode_decide_request(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_decide_reply(const DecideReplyMsg& msg);
+[[nodiscard]] DecideReplyMsg decode_decide_reply(const std::string& payload);
+
+[[nodiscard]] std::string encode_feedback(const FeedbackMsg& msg);
+[[nodiscard]] FeedbackMsg decode_feedback(const std::string& payload);
+
 // ------------------------------------------------------------- framing ---
 
 /// Incremental frame assembler for the coordinator's poll loop: feed()
@@ -158,9 +210,15 @@ class FrameDecoder {
   std::size_t consumed_ = 0;
 };
 
+/// Appends one framed message (header + payload) to `out`. The buffered
+/// counterpart of write_frame for reactor loops that coalesce replies into
+/// one per-connection output buffer.
+void append_frame(std::string& out, MsgType type, const std::string& payload);
+
 /// Blocking frame write, restarted across EINTR/short writes. Uses
 /// send(MSG_NOSIGNAL) on sockets (a dead peer yields EPIPE, not SIGPIPE)
-/// and write() on other fds. Throws std::runtime_error on I/O failure.
+/// and write() on other fds. Throws std::runtime_error on I/O failure;
+/// error messages name the frame type being written.
 void write_frame(int fd, MsgType type, const std::string& payload);
 
 /// Blocking frame read. Returns nullopt on clean EOF at a frame boundary;

@@ -30,7 +30,7 @@ int run_worker(const WorkerOptions& options) {
   ::signal(SIGINT, SIG_IGN);  // the coordinator owns interrupt handling
 
   HelloMsg hello;
-  hello.sweep_schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
+  hello.schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
   try {
     write_frame(options.fd, MsgType::kHello, encode_hello(hello));
     const std::optional<Frame> ack = read_frame(options.fd);

@@ -1,0 +1,100 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// record() is O(1) (a bit-scan plus one array increment, no allocation), so
+// it is safe on a reactor hot path; quantile() walks the fixed bucket array.
+// Values up to 15 land in exact unit buckets; larger values share a
+// power-of-two decade split into 16 linear sub-buckets, so any reported
+// quantile overstates the true value by at most 1/16 (~6.25%) of it —
+// plenty for p50/p99/p999 latency reporting, in exchange for a histogram
+// that is a flat 976-slot array that merges by addition.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+namespace ncb {
+
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per power-of-two decade; the relative error bound is
+  /// 1/kSubBuckets.
+  static constexpr std::size_t kSubBuckets = 16;
+  /// Bucket count covering the full u64 range: exact buckets [0, 16) plus
+  /// 60 decades (exponents 4..63) of 16 sub-buckets each.
+  static constexpr std::size_t kNumBuckets = kSubBuckets + 60 * kSubBuckets;
+
+  void record(std::uint64_t value_ns) noexcept {
+    ++counts_[bucket_index(value_ns)];
+    ++count_;
+    max_ = std::max(max_, value_ns);
+  }
+
+  /// Adds another histogram's counts into this one (shard merging).
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  void reset() noexcept {
+    counts_.fill(0);
+    count_ = 0;
+    max_ = 0;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Exact largest recorded value (not bucket-rounded); 0 when empty.
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+
+  /// Upper edge of the bucket holding the q-quantile (q clamped to [0, 1]),
+  /// capped at max(). Returns 0 on an empty histogram. Never understates
+  /// the true quantile, and overstates it by at most 1/kSubBuckets.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Nearest-rank: round(q * count), clamped into [1, count].
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+    target = std::max<std::uint64_t>(1, std::min(target, count_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= target) return std::min(bucket_upper(i), max_);
+    }
+    return max_;  // unreachable: counts_ sums to count_
+  }
+
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] std::uint64_t p999() const noexcept { return quantile(0.999); }
+
+  /// Bucket mapping, exposed for tests: values < 16 map to themselves;
+  /// larger values map by (floor(log2(v)), next-4-bits).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int exponent = 63 - __builtin_clzll(v);  // >= 4 here
+    const std::uint64_t sub = (v >> (exponent - 4)) - kSubBuckets;  // [0, 16)
+    return kSubBuckets * static_cast<std::size_t>(exponent - 3) +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Largest value mapping into bucket `index` (inclusive upper edge).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index) noexcept {
+    if (index < kSubBuckets) return index;
+    const int exponent = static_cast<int>(index / kSubBuckets) + 3;
+    const std::uint64_t sub = index % kSubBuckets;
+    const std::uint64_t lower = (kSubBuckets + sub) << (exponent - 4);
+    const std::uint64_t width = std::uint64_t{1} << (exponent - 4);
+    return lower + width - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ncb

@@ -104,32 +104,32 @@ TEST(Wire, TrailingBytesRejectedByFinish) {
 
 TEST(Messages, HelloRoundTripAndValidation) {
   HelloMsg hello;
-  hello.sweep_schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
+  hello.schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
   const HelloMsg decoded = decode_hello(encode_hello(hello));
   EXPECT_EQ(decoded.magic, kProtocolMagic);
   EXPECT_EQ(decoded.protocol_version, kProtocolVersion);
-  EXPECT_EQ(decoded.sweep_schema, hello.sweep_schema);
-  EXPECT_FALSE(validate_hello(decoded, hello.sweep_schema).has_value());
+  EXPECT_EQ(decoded.schema, hello.schema);
+  EXPECT_FALSE(validate_hello(decoded, hello.schema).has_value());
 }
 
 TEST(Messages, ValidateHelloRejectsEveryMismatch) {
   HelloMsg hello;
-  hello.sweep_schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
+  hello.schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
 
   HelloMsg bad_magic = hello;
   bad_magic.magic = 0x12345678;
-  const auto magic_error = validate_hello(bad_magic, hello.sweep_schema);
+  const auto magic_error = validate_hello(bad_magic, hello.schema);
   ASSERT_TRUE(magic_error.has_value());
   EXPECT_NE(magic_error->find("magic"), std::string::npos);
 
   HelloMsg bad_version = hello;
   bad_version.protocol_version = kProtocolVersion + 1;
-  const auto version_error = validate_hello(bad_version, hello.sweep_schema);
+  const auto version_error = validate_hello(bad_version, hello.schema);
   ASSERT_TRUE(version_error.has_value());
   EXPECT_NE(version_error->find("protocol version mismatch"),
             std::string::npos);
 
-  const auto schema_error = validate_hello(hello, hello.sweep_schema + 1);
+  const auto schema_error = validate_hello(hello, hello.schema + 1);
   ASSERT_TRUE(schema_error.has_value());
   EXPECT_NE(schema_error->find("schema mismatch"), std::string::npos);
 }

@@ -1,0 +1,122 @@
+// util/histogram.hpp — the log-scale latency histogram: bucket mapping
+// invariants, quantile bounds, merge/reset, and the error guarantee
+// (quantiles never understate, overstate by at most 1/kSubBuckets).
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ncb {
+namespace {
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(v), v);
+  }
+}
+
+TEST(HistogramBuckets, IndexIsMonotoneAndUpperIsInclusive) {
+  // Walk every bucket edge across several decades: the upper edge must map
+  // into its own bucket, and upper+1 into the next.
+  for (std::size_t i = 0; i + 1 < 16 * LatencyHistogram::kSubBuckets; ++i) {
+    const std::uint64_t upper = LatencyHistogram::bucket_upper(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper), i) << "upper of " << i;
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper + 1), i + 1)
+        << "upper+1 of " << i;
+  }
+}
+
+TEST(HistogramBuckets, ExtremesStayInRange) {
+  EXPECT_LT(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kNumBuckets);
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+}
+
+TEST(Histogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 12345u);
+  // One value: every quantile is that value (capped at the exact max).
+  EXPECT_EQ(h.p50(), 12345u);
+  EXPECT_EQ(h.p99(), 12345u);
+}
+
+TEST(Histogram, QuantileErrorBoundAgainstExact) {
+  // Compare against exact nearest-rank quantiles on a log-uniform sample:
+  // the histogram may overstate by at most 1/kSubBuckets, never understate.
+  Xoshiro256 rng(42);
+  std::vector<std::uint64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v =
+        static_cast<std::uint64_t>(100.0 * (1 << rng.uniform_int(16)) *
+                                   (1.0 + rng.uniform()));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size()) + 0.5);
+    rank = std::max<std::size_t>(1, std::min(rank, values.size()));
+    const double exact = static_cast<double>(values[rank - 1]);
+    const double reported = static_cast<double>(h.quantile(q));
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(reported, exact * (1.0 + 1.0 / LatencyHistogram::kSubBuckets))
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileIsCappedAtMax) {
+  LatencyHistogram h;
+  h.record(1000);
+  h.record(1001);
+  EXPECT_EQ(h.quantile(1.0), 1001u);
+  EXPECT_LE(h.p999(), h.max());
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Xoshiro256 rng(7);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform_int(1u << 20);
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.1, 0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(500);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+}  // namespace
+}  // namespace ncb
