@@ -1,0 +1,97 @@
+// Offline replay panel throughput: candidate-events per second for
+// replay_panel() over a serve-generated event log. The log is produced
+// in-process once (real DecisionEngine + EventLog, K arms, one feedback
+// per decision) and then re-priced under panels of varying width — the
+// per-event cost is one policy select + one propensity reprice + three
+// estimator updates per candidate, so events/s should be flat in panel
+// width and linear in log length.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replay/replay.hpp"
+#include "serve/decision_engine.hpp"
+#include "serve/event_log.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ncb;
+
+constexpr std::size_t kArms = 10000;
+constexpr std::size_t kDecisions = 50000;
+constexpr double kEpsilon = 0.05;
+constexpr std::uint64_t kSeed = 20170605;
+
+Graph bench_graph() {
+  ExperimentConfig config;
+  config.graph_family = GraphFamily::kErdosRenyi;
+  config.num_arms = kArms;
+  config.edge_probability = 0.001;
+  config.seed = kSeed;
+  return build_graph(config);
+}
+
+/// Serves kDecisions through a real engine into a temp log once; every
+/// benchmark repetition replays the same file.
+const std::string& bench_log(const Graph& graph) {
+  static const std::string path = [&graph] {
+    std::string file = std::string(::getenv("TMPDIR") ? ::getenv("TMPDIR")
+                                                      : "/tmp") +
+                       "/ncb_bench_replay_XXXXXX";
+    const int fd = ::mkstemp(file.data());
+    if (fd >= 0) ::close(fd);
+    auto log = std::make_unique<serve::EventLog>(
+        serve::EventLog::Options{file, 256 * 1024, 50});
+    serve::EngineOptions options;
+    options.policy_spec = "eps-greedy:eps=0";
+    options.epsilon = kEpsilon;
+    options.seed = kSeed;
+    serve::DecisionEngine engine(graph, options, log.get());
+    for (std::size_t i = 0; i < kDecisions; ++i) {
+      const std::string key = "user" + std::to_string(i % 64);
+      const serve::Decision d = engine.decide(key);
+      Xoshiro256 rng(derive_seed_at(777, d.decision_id));
+      engine.report(d.decision_id, rng.bernoulli(0.5) ? 1.0 : 0.0);
+    }
+    log->close();
+    return file;
+  }();
+  return path;
+}
+
+void BM_ReplayPanel(benchmark::State& state) {
+  const Graph graph = bench_graph();
+  const serve::EventLogScan scan = serve::read_event_log(bench_log(graph));
+  static const std::vector<std::string> kPanel{
+      "eps-greedy:eps=0", "eps-greedy:eps=0.1", "ucb1", "dfl-sso"};
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::string> specs(kPanel.begin(),
+                                       kPanel.begin() + width);
+  replay::ReplayOptions options;
+  options.epsilon = kEpsilon;
+  options.seed = kSeed;
+  for (auto _ : state) {
+    const replay::PanelResult panel =
+        replay::replay_panel(graph, scan, specs, options);
+    benchmark::DoNotOptimize(panel.empirical_mean);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * scan.records.size() *
+                                width));
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * scan.records.size() * width),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_ReplayPanel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

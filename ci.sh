@@ -2,15 +2,23 @@
 # CI gate: the tier-1 verify command (ROADMAP.md) plus the sanitizer pass,
 # with per-stage timing and a one-line recap so CI logs are skimmable.
 #
-# Usage: ./ci.sh            — -Werror Release build, full ctest, observe-path
+# Usage: ./ci.sh            — everything: the release lane, then ASan/UBSan.
+#        ./ci.sh release    — -Werror Release build, full ctest, observe-path
 #                             smoke, sweep-engine smoke (resume round-trip +
 #                             thread determinism), serve smoke (real server +
-#                             driver + SIGTERM drain), then ASan/UBSan ctest.
+#                             driver + SIGTERM drain), replay smoke (offline
+#                             panel over the serve log + logging-identity pin).
+#        ./ci.sh asan       — ASan/UBSan build + test suite only. The release
+#                             and asan lanes are disjoint so CI runs them as
+#                             parallel jobs; the no-argument form is their
+#                             union for local use.
 #        ./ci.sh bench      — -Werror Release build, then the tracked
 #                             benchmark suites (micro_policies + scaling_k)
 #                             in Google Benchmark JSON mode, merged into
 #                             BENCH_graph.json at the repo root, plus the
-#                             serve throughput bench into BENCH_serve.json.
+#                             serve throughput bench into BENCH_serve.json and
+#                             the offline replay panel bench into
+#                             BENCH_replay.json.
 #        NCB_CI_JOBS=N ./ci.sh          — override parallelism.
 #        NCB_BENCH_MIN_TIME=0.5 ./ci.sh bench — slower, steadier timings.
 set -euo pipefail
@@ -131,6 +139,46 @@ serve_smoke() {
   grep -q 'records=20000 decisions=10000 feedbacks=10000 joined=10000' \
       build/serve_smoke.inspect
   echo "serve smoke: 10k decisions / 2 connections, 10000/10000 joined, clean SIGTERM drain"
+}
+
+# Replay smoke: the offline evaluator prices a candidate panel on the log
+# the serve smoke just wrote, with the serving spec pinned as the logging
+# policy. Asserts (a) the logging-identity line — the IPS estimate of the
+# logging policy equals the log's empirical mean bitwise, or ncb_replay
+# exits 1; (b) the panel JSON carries the schema header and estimator
+# fields; (c) a second run is byte-identical; (d) a truncated copy of the
+# log makes --inspect-log exit nonzero and say so.
+replay_smoke() {
+  local log=build/serve_smoke.ncbl
+  if [ ! -f "$log" ]; then
+    echo "error: $log missing — replay smoke must run after serve smoke" >&2
+    return 1
+  fi
+  ./build/examples/ncb_replay --log "$log" \
+      --logging-policy 'eps-greedy:eps=0' --policies 'ucb1;dfl-sso' \
+      --arms 200 --graph er --edge-prob 0.1 --seed 7 --epsilon 0.1 \
+      --out build/replay_smoke.json | tee build/replay_smoke.out
+  grep -q 'logging identity OK' build/replay_smoke.out
+  grep -q '"schema": 1' build/replay_smoke.json
+  grep -q '"ips_mean":' build/replay_smoke.json
+  grep -q '"dr_mean":' build/replay_smoke.json
+  grep -q '"ess":' build/replay_smoke.json
+  ./build/examples/ncb_replay --log "$log" \
+      --logging-policy 'eps-greedy:eps=0' --policies 'ucb1;dfl-sso' \
+      --arms 200 --graph er --edge-prob 0.1 --seed 7 --epsilon 0.1 \
+      --out build/replay_smoke_2.json > /dev/null
+  cmp build/replay_smoke.json build/replay_smoke_2.json
+  # Chop the tail mid-record: inspect must refuse to call the log intact.
+  local size
+  size=$(stat -c %s "$log")
+  head -c $(( size - 3 )) "$log" > build/replay_smoke_truncated.ncbl
+  if ./build/examples/ncb_serve --inspect-log build/replay_smoke_truncated.ncbl \
+      > build/replay_truncated.out 2>&1; then
+    echo "error: --inspect-log exited 0 on a truncated log" >&2
+    return 1
+  fi
+  grep -qi 'truncated' build/replay_truncated.out
+  echo "replay smoke: logging identity pinned, panel byte-identical, truncated log rejected"
 }
 
 asan() {
@@ -300,21 +348,94 @@ if ratio > THRESHOLD:
 PY
 }
 
-if [ "${1:-}" = "bench" ]; then
-  stage "build" "-Werror Release build" release_build
-  stage "bench" "tracked benches: micro_policies + scaling_k -> BENCH_graph.json" \
-        bench_tracked
-  stage "serve-bench" "serve bench: 200k decisions @ K=10^4 -> BENCH_serve.json" \
-        bench_serve
-else
+# Replay panel throughput bench: re-price a 3-policy panel on the 400k-record
+# log the serve bench just wrote (K=10^4), merged into tracked
+# BENCH_replay.json. Guard: fail when panel events/s drops below 1/1.5 of
+# the committed baseline. The logging-identity pin runs here too — ncb_replay
+# exits 1 itself if the IPS-of-logging-policy identity breaks at this scale.
+bench_replay() {
+  local log=build/bench_serve.ncbl
+  if [ ! -f "$log" ]; then
+    echo "error: $log missing — replay bench must run after the serve bench" >&2
+    return 1
+  fi
+  ./build/examples/ncb_replay --log "$log" \
+      --logging-policy 'eps-greedy:eps=0' --policies 'eps-greedy:eps=0.1;ucb1' \
+      --arms 10000 --graph er --edge-prob 0.001 --seed 20170605 \
+      --epsilon 0.05 --out build/bench_replay_panel.json \
+      --bench-out build/bench_replay_run.json | tee build/bench_replay.out
+  grep -q 'logging identity OK' build/bench_replay.out
+  python3 - <<'PY'
+import json
+import os
+import sys
+
+THRESHOLD = 1.5
+
+with open("build/bench_replay_run.json") as f:
+    run = json.load(f)
+with open("BENCH_replay.json", "w") as f:
+    json.dump({"schema": 1, "replay": run}, f, indent=1)
+    f.write("\n")
+print(f"wrote BENCH_replay.json: {run['events_per_s']:.0f} events/s "
+      f"({run['records']} records x {run['policies']} policies in "
+      f"{run['elapsed_s']:.2f} s)")
+
+if os.system("git show HEAD:BENCH_replay.json > build/bench_replay_baseline.json 2>/dev/null") != 0:
+    print("replay bench guard: no committed BENCH_replay.json baseline — skipped")
+    sys.exit(0)
+with open("build/bench_replay_baseline.json") as f:
+    base = json.load(f)["replay"]
+rate, base_rate = run["events_per_s"], base["events_per_s"]
+ratio = base_rate / rate if rate > 0 else float("inf")
+print(f"replay bench guard: {base_rate:.0f} -> {rate:.0f} events/s "
+      + (f"({ratio:.2f}x slower)" if ratio > 1 else "(faster)"))
+if ratio > THRESHOLD:
+    print(f"replay bench guard: panel throughput regressed beyond {THRESHOLD}x")
+    sys.exit(1)
+PY
+}
+
+release_lane() {
   stage "tier-1" "tier-1: -Werror Release build + full test suite" tier1
   stage "smoke" "observe-path smoke: batched vs per-edge delivery must run" smoke
   stage "sweep" "sweep smoke: resume + thread/worker determinism + kill-requeue" \
         sweep_smoke
   stage "serve" "serve smoke: 10k decisions over 2 connections + SIGTERM drain" \
         serve_smoke
+  stage "replay" "replay smoke: offline panel + logging-identity pin" \
+        replay_smoke
+}
+
+asan_lane() {
   stage "asan" "sanitizers: ASan/UBSan build + test suite" asan
-fi
+}
+
+case "${1:-}" in
+  bench)
+    stage "build" "-Werror Release build" release_build
+    stage "bench" "tracked benches: micro_policies + scaling_k -> BENCH_graph.json" \
+          bench_tracked
+    stage "serve-bench" "serve bench: 200k decisions @ K=10^4 -> BENCH_serve.json" \
+          bench_serve
+    stage "replay-bench" "replay bench: 3-policy panel @ K=10^4 -> BENCH_replay.json" \
+          bench_replay
+    ;;
+  release)
+    release_lane
+    ;;
+  asan)
+    asan_lane
+    ;;
+  "")
+    release_lane
+    asan_lane
+    ;;
+  *)
+    echo "usage: $0 [release|asan|bench]" >&2
+    exit 2
+    ;;
+esac
 
 echo "== CI green =="
 recap_line=""

@@ -69,6 +69,10 @@ void install_stop_handlers() {
   sigaction(SIGTERM, &action, nullptr);
 }
 
+// Exit codes: 0 for a fully intact log, 1 for a truncated tail (the
+// complete prefix is summarized anyway), 2 for structural corruption
+// (read_event_log throws into main's handler). CI's log-join assertions
+// pipe through this, so a torn log can never satisfy them silently.
 int inspect_log(const std::string& path) {
   const serve::EventLogScan scan = serve::read_event_log(path);
   std::cout << "event log " << path << ": version=" << scan.version
@@ -77,8 +81,9 @@ int inspect_log(const std::string& path) {
             << " feedbacks=" << scan.feedbacks << " joined=" << scan.joined
             << " valid_bytes=" << scan.valid_bytes << '\n';
   if (scan.truncated_tail) {
-    std::cout << "(truncated tail after the last complete record — the "
-                 "prefix above is intact)\n";
+    std::cerr << "error: truncated tail after the last complete record — "
+                 "the prefix above is intact, but the log is incomplete\n";
+    return 1;
   }
   return 0;
 }

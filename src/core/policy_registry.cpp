@@ -250,6 +250,12 @@ std::unique_ptr<SinglePlayPolicy> PolicyRegistry::make_single_play(
   return descriptor.make_single(params, context);
 }
 
+const PolicyDescriptor& PolicyRegistry::check_single_play(
+    const std::string& spec) const {
+  PolicyParams params;
+  return resolve(spec, false, params);
+}
+
 std::unique_ptr<CombinatorialPolicy> PolicyRegistry::make_combinatorial(
     const std::string& spec, std::shared_ptr<const FeasibleSet> family,
     std::uint64_t seed) const {

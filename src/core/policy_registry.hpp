@@ -117,6 +117,13 @@ class PolicyRegistry {
   [[nodiscard]] std::unique_ptr<SinglePlayPolicy> make_single_play(
       const std::string& spec, TimeSlot horizon, std::uint64_t seed) const;
 
+  /// Validates a single-play spec string (name, parameter keys, value
+  /// types) without building the policy, throwing exactly what
+  /// make_single_play would. Lets batch consumers (the replay panel, sweep
+  /// expansion) reject a bad spec up front instead of mid-scan. Returns the
+  /// resolved descriptor.
+  const PolicyDescriptor& check_single_play(const std::string& spec) const;
+
   /// Combinatorial counterpart; `family` is forwarded to the builder.
   [[nodiscard]] std::unique_ptr<CombinatorialPolicy> make_combinatorial(
       const std::string& spec, std::shared_ptr<const FeasibleSet> family,

@@ -315,6 +315,46 @@ std::map<std::string, std::string> load_job_lines(const std::string& path) {
   return by_key;
 }
 
+std::string render_replay_json(const ReplayRecord& record) {
+  std::ostringstream out;
+  out << "{\"policy\":\"" << json_escape(record.policy)
+      << "\",\"description\":\"" << json_escape(record.description)
+      << "\",\"logging\":" << (record.logging ? "true" : "false")
+      << ",\"epsilon\":" << json_number(record.epsilon)
+      << ",\"seed\":" << record.seed
+      << ",\"decisions\":" << record.decisions
+      << ",\"events\":" << record.events << ",\"matched\":" << record.matched
+      << ",\"ips_mean\":" << json_number(record.ips_mean)
+      << ",\"ips_se\":" << json_number(record.ips_se)
+      << ",\"snips\":" << json_number(record.snips)
+      << ",\"dr_mean\":" << json_number(record.dr_mean)
+      << ",\"dr_se\":" << json_number(record.dr_se)
+      << ",\"ess\":" << json_number(record.ess)
+      << ",\"max_weight\":" << json_number(record.max_weight) << '}';
+  return out.str();
+}
+
+std::string render_replay_panel_json(const ReplayPanelMeta& meta,
+                                     const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  out << "{\n\"schema\": " << kReplaySchemaVersion
+      << ",\n\"engine\": \"ncb_replay\",\n\"log\": {\"path\":\""
+      << json_escape(meta.log_path) << "\",\"decisions\":" << meta.decisions
+      << ",\"feedbacks\":" << meta.feedbacks << ",\"joined\":" << meta.joined
+      << ",\"truncated_tail\":" << (meta.truncated_tail ? "true" : "false")
+      << ",\"arms\":" << meta.arms << ",\"graph\":\""
+      << json_escape(meta.graph)
+      << "\",\"min_propensity\":" << json_number(meta.min_propensity)
+      << ",\"empirical_mean\":" << json_number(meta.empirical_mean)
+      << ",\"empirical_se\":" << json_number(meta.empirical_se)
+      << "},\n\"policies\": [\n";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
 std::string render_sweep_csv(const std::vector<JobRecord>& records) {
   std::ostringstream out;
   out << "key,policy,scenario,graph,arms,p,family_param,horizon,replications,"

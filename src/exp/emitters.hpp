@@ -80,6 +80,56 @@ struct JobRecord {
 [[nodiscard]] std::map<std::string, std::string> load_job_lines(
     const std::string& path);
 
+/// Replay panel output schema version (independent of the sweep schema;
+/// bump on any field change).
+inline constexpr int kReplaySchemaVersion = 1;
+
+/// One candidate policy's offline-evaluation record — the replay
+/// counterpart of JobRecord. Rendered one-per-line inside the panel's
+/// "policies" array with the same json_number / json_escape conventions as
+/// sweep job lines, so replay panels and sweep outputs merge into one
+/// plotting pipeline (both are keyed by a "policy" spec string).
+struct ReplayRecord {
+  std::string policy;       ///< Candidate registry spec.
+  std::string description;  ///< Built policy's describe().
+  bool logging = false;     ///< True for the marked logging policy.
+  double epsilon = 0.0;     ///< Engine-level exploration assumed.
+  std::uint64_t seed = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t events = 0;   ///< Joined feedback events scored.
+  std::uint64_t matched = 0;  ///< Sampled action == logged action.
+  double ips_mean = 0.0;
+  double ips_se = 0.0;
+  double snips = 0.0;
+  double dr_mean = 0.0;
+  double dr_se = 0.0;
+  double ess = 0.0;
+  double max_weight = 0.0;
+};
+
+/// Log-level context echoed once per panel document.
+struct ReplayPanelMeta {
+  std::string log_path;
+  std::uint64_t decisions = 0;
+  std::uint64_t feedbacks = 0;
+  std::uint64_t joined = 0;
+  bool truncated_tail = false;
+  std::size_t arms = 0;
+  std::string graph;  ///< family_token form.
+  double min_propensity = 0.0;
+  double empirical_mean = 0.0;
+  double empirical_se = 0.0;
+};
+
+/// Renders one candidate record as a single JSON object line (fixed field
+/// order, shortest round-trip numbers — byte-reproducible).
+[[nodiscard]] std::string render_replay_json(const ReplayRecord& record);
+
+/// Assembles the full panel document: schema + log meta + one candidate
+/// per line in the "policies" array.
+[[nodiscard]] std::string render_replay_panel_json(
+    const ReplayPanelMeta& meta, const std::vector<std::string>& lines);
+
 /// Long-format CSV: one row per (job, checkpoint) plus the job's final
 /// scalar columns repeated on each row.
 [[nodiscard]] std::string render_sweep_csv(

@@ -1,0 +1,120 @@
+// Streaming off-policy estimators over a propensity-logged event stream.
+//
+// Every joined event contributes one term per estimator; terms stream
+// through Welford accumulators (util/running_stat.hpp) so a panel pass
+// holds O(policies) state no matter how long the log is. For a candidate
+// policy with action distribution q(a | key) evaluated against a logged
+// (action a, propensity p, reward r):
+//
+//   weight   w      = q(a) / p                   (importance ratio)
+//   IPS      term   = w * r                      (inverse propensity score)
+//   SNIPS    value  = sum(w * r) / sum(w)        (self-normalized IPS)
+//   DR       term   = E_q[m] + w * (r - m(a))    (doubly robust; m = per-arm
+//                                                 empirical-mean baseline)
+//   ESS             = sum(w)^2 / sum(w^2)        (effective sample size)
+//
+// When the candidate IS the logging policy replayed at matched seeds,
+// q(a) == p bitwise on every event, so w == 1.0 exactly and the IPS
+// accumulator sees the raw reward sequence — its mean and variance
+// coincide with the log's empirical mean and variance to the last bit.
+// That identity is the correctness pin CI asserts on every run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/running_stat.hpp"
+#include "util/types.hpp"
+
+namespace ncb::replay {
+
+/// Per-arm empirical-mean reward model fitted on the joined log — the
+/// doubly-robust baseline. Arms the log never saw rewarded fall back to the
+/// global empirical mean (an unseen arm is "average until proven
+/// otherwise", which keeps the direct term finite and unbiased-ish).
+class RewardModel {
+ public:
+  explicit RewardModel(std::size_t num_arms)
+      : counts_(num_arms, 0), means_(num_arms, 0.0) {}
+
+  /// Adds one joined (arm, reward) sample.
+  void observe(ArmId arm, double reward) noexcept {
+    const std::size_t i = static_cast<std::size_t>(arm);
+    const double n = static_cast<double>(++counts_[i]);
+    means_[i] += (reward - means_[i]) / n;
+    global_.add(reward);
+  }
+
+  /// Model value m(arm): the arm's empirical mean, or the global empirical
+  /// mean when the arm has no joined sample.
+  [[nodiscard]] double value(ArmId arm) const noexcept {
+    const std::size_t i = static_cast<std::size_t>(arm);
+    return counts_[i] > 0 ? means_[i] : global_.mean();
+  }
+
+  /// Unweighted average of value(a) over all arms — the uniform component
+  /// of the direct term E_q[m] under engine-level epsilon exploration.
+  [[nodiscard]] double arm_average() const noexcept {
+    if (counts_.empty()) return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      sum += counts_[i] > 0 ? means_[i] : global_.mean();
+    }
+    return sum / static_cast<double>(counts_.size());
+  }
+
+  [[nodiscard]] std::size_t num_arms() const noexcept { return counts_.size(); }
+  [[nodiscard]] double global_mean() const noexcept { return global_.mean(); }
+  [[nodiscard]] std::uint64_t samples(ArmId arm) const noexcept {
+    return counts_[static_cast<std::size_t>(arm)];
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<double> means_;
+  RunningStat global_;
+};
+
+/// Streaming accumulators for one candidate policy's panel entry.
+class EstimatorAccumulator {
+ public:
+  /// Scores one joined event. `weight` is q(a)/p, `direct` is E_q[m] at the
+  /// decision, `model_at_logged` is m(a) for the logged action.
+  void add(double weight, double reward, double direct,
+           double model_at_logged) noexcept {
+    ips_.add(weight * reward);
+    dr_.add(direct + weight * (reward - model_at_logged));
+    weight_sum_ += weight;
+    weight_sq_sum_ += weight * weight;
+    weighted_reward_sum_ += weight * reward;
+    if (weight > max_weight_) max_weight_ = weight;
+  }
+
+  [[nodiscard]] std::size_t events() const noexcept { return ips_.count(); }
+  /// Welford stats over the per-event IPS terms w*r.
+  [[nodiscard]] const RunningStat& ips() const noexcept { return ips_; }
+  /// Welford stats over the per-event DR terms.
+  [[nodiscard]] const RunningStat& dr() const noexcept { return dr_; }
+
+  /// Self-normalized IPS: sum(w*r)/sum(w); 0 when no weight landed.
+  [[nodiscard]] double snips() const noexcept {
+    return weight_sum_ > 0.0 ? weighted_reward_sum_ / weight_sum_ : 0.0;
+  }
+  /// Kish effective sample size (sum w)^2 / sum w^2; 0 when empty.
+  [[nodiscard]] double ess() const noexcept {
+    return weight_sq_sum_ > 0.0 ? weight_sum_ * weight_sum_ / weight_sq_sum_
+                                : 0.0;
+  }
+  [[nodiscard]] double weight_sum() const noexcept { return weight_sum_; }
+  [[nodiscard]] double max_weight() const noexcept { return max_weight_; }
+
+ private:
+  RunningStat ips_;
+  RunningStat dr_;
+  double weight_sum_ = 0.0;
+  double weight_sq_sum_ = 0.0;
+  double weighted_reward_sum_ = 0.0;
+  double max_weight_ = 0.0;
+};
+
+}  // namespace ncb::replay

@@ -1,0 +1,238 @@
+#include "replay/replay.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/policy_registry.hpp"
+#include "serve/decision_engine.hpp"
+#include "util/rng.hpp"
+
+namespace ncb::replay {
+
+namespace {
+
+/// One candidate policy wrapped in serve::DecisionEngine's decide()/report()
+/// semantics, minus the lock, the log, and the pending-id bookkeeping the
+/// reactor needs. The replay determinism contract lives here: every line
+/// that touches the policy clock, the exploration stream, or observe()
+/// mirrors DecisionEngine exactly, so replaying the logging policy's spec
+/// at the serving seed reproduces the served actions — and the logged
+/// propensities — bit for bit.
+class CandidateReplayer {
+ public:
+  CandidateReplayer(const Graph& graph, const std::string& spec,
+                    const ReplayOptions& options)
+      : num_arms_(graph.num_vertices()),
+        epsilon_(options.epsilon),
+        seed_(options.seed) {
+    policy_ = PolicyRegistry::instance().make_single_play(
+        spec, options.horizon, options.seed);
+    policy_->reset(graph);
+    description_ = policy_->describe();
+  }
+
+  struct Step {
+    ArmId greedy = kNoArm;
+    ArmId sampled = kNoArm;  ///< greedy + the per-key exploration draw.
+    double q = 0.0;          ///< Candidate probability of the logged action.
+  };
+
+  /// Replays one decision record: advances the policy clock, runs select,
+  /// draws the key's exploration stream, and prices the logged action.
+  Step on_decision(const serve::EventRecord& record) {
+    const std::uint64_t key_hash = serve::fnv1a_key(record.key);
+    const TimeSlot t = ++t_;
+    const ArmId greedy = policy_->select(t);
+
+    const std::uint64_t key_index = per_key_count_[key_hash]++;
+    ArmId sampled = greedy;
+    if (epsilon_ > 0.0) {
+      Xoshiro256 rng(derive_seed_at(seed_ ^ key_hash, key_index));
+      if (rng.uniform() < epsilon_) {
+        sampled = static_cast<ArmId>(rng.uniform_int(num_arms_));
+      }
+    }
+    // Same expression the engine logs as propensity, evaluated at the
+    // logged action: eps/K mass everywhere, plus (1-eps) on the greedy arm.
+    double q = epsilon_ / static_cast<double>(num_arms_);
+    if (record.action == greedy) q += 1.0 - epsilon_;
+
+    pending_.emplace(record.decision_id,
+                     Pending{record.action, greedy, q, sampled});
+    return {greedy, sampled, q};
+  }
+
+  struct Joined {
+    ArmId action = kNoArm;  ///< Logged action.
+    ArmId greedy = kNoArm;  ///< Candidate greedy at decision time.
+    double q = 0.0;
+    bool matched = false;   ///< Sampled action == logged action.
+  };
+
+  /// Replays one feedback record. Feeds the *logged* action's reward to the
+  /// policy at the current clock — exactly what DecisionEngine::report does
+  /// online (the served action is the only one with a known reward).
+  /// Returns false for an unknown or already-joined decision_id.
+  bool on_feedback(const serve::EventRecord& record, Joined& out) {
+    const auto it = pending_.find(record.decision_id);
+    if (it == pending_.end()) return false;
+    const Pending pending = it->second;
+    pending_.erase(it);
+    policy_->observe(pending.action, t_, {{pending.action, record.reward}});
+    out.action = pending.action;
+    out.greedy = pending.greedy;
+    out.q = pending.q;
+    out.matched = pending.sampled == pending.action;
+    return true;
+  }
+
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+
+ private:
+  struct Pending {
+    ArmId action = kNoArm;
+    ArmId greedy = kNoArm;
+    double q = 0.0;
+    ArmId sampled = kNoArm;
+  };
+
+  std::size_t num_arms_;
+  double epsilon_;
+  std::uint64_t seed_;
+  std::unique_ptr<SinglePlayPolicy> policy_;
+  std::string description_;
+  TimeSlot t_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, std::uint64_t> per_key_count_;
+};
+
+}  // namespace
+
+PanelResult replay_panel(const Graph& graph, const serve::EventLogScan& scan,
+                         const std::vector<std::string>& specs,
+                         const ReplayOptions& options) {
+  const std::size_t num_arms = graph.num_vertices();
+  if (num_arms == 0) {
+    throw std::invalid_argument("replay: empty graph");
+  }
+  if (!(options.epsilon >= 0.0 && options.epsilon <= 1.0)) {
+    throw std::invalid_argument("replay: epsilon must be in [0, 1]");
+  }
+  // Reject every bad spec before touching the (possibly huge) log.
+  for (const std::string& spec : specs) {
+    PolicyRegistry::instance().check_single_play(spec);
+  }
+
+  PanelResult result;
+  result.decisions = scan.decisions;
+  result.feedbacks = scan.feedbacks;
+  result.truncated_tail = scan.truncated_tail;
+
+  // Pass 1: join, DR baseline model, and the log's own reward statistics.
+  const serve::EventLogJoin join = serve::join_event_log(scan);
+  result.joined = join.joined;
+  result.orphan_feedbacks = join.orphan_feedbacks;
+  result.duplicate_feedbacks = join.duplicate_feedbacks;
+  result.min_propensity = join.min_propensity;
+  RewardModel model(num_arms);
+  for (const serve::JoinedEvent& event : join.events) {
+    if (static_cast<std::size_t>(event.action) >= num_arms) {
+      throw std::invalid_argument(
+          "replay: logged action " + std::to_string(event.action) +
+          " is outside the graph's " + std::to_string(num_arms) +
+          " arms — graph flags must match the serving run");
+    }
+    if (event.has_reward) model.observe(event.action, event.reward);
+  }
+  result.arm_model.reserve(num_arms);
+  for (std::size_t arm = 0; arm < num_arms; ++arm) {
+    result.arm_model.push_back(model.value(static_cast<ArmId>(arm)));
+  }
+  result.model_arm_average = model.arm_average();
+
+  // Pass 2: all candidates in lockstep through the raw record stream, plus
+  // the empirical accumulator on the identical feedback-order sequence.
+  struct Candidate {
+    CandidateReplayer replayer;
+    EstimatorAccumulator accumulator;
+    std::uint64_t decisions = 0;
+    std::uint64_t matched = 0;
+    /// Direct term E_q[m] at decision time, keyed by decision_id.
+    std::unordered_map<std::uint64_t, double> direct;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    candidates.push_back(Candidate{{graph, spec, options}, {}, 0, 0, {}});
+  }
+  RunningStat empirical;
+  /// Logged propensity of each not-yet-joined decision (shared across the
+  /// panel; consumed at the joining feedback record).
+  std::unordered_map<std::uint64_t, double> logged_propensity;
+
+  const double uniform_direct = options.epsilon * result.model_arm_average;
+  for (const serve::EventRecord& record : scan.records) {
+    if (record.type == serve::EventType::kDecision) {
+      logged_propensity.emplace(record.decision_id, record.propensity);
+      for (Candidate& candidate : candidates) {
+        const CandidateReplayer::Step step =
+            candidate.replayer.on_decision(record);
+        ++candidate.decisions;
+        candidate.direct.emplace(
+            record.decision_id,
+            uniform_direct +
+                (1.0 - options.epsilon) * model.value(step.greedy));
+      }
+    } else {
+      const auto propensity_it = logged_propensity.find(record.decision_id);
+      if (propensity_it == logged_propensity.end()) {
+        continue;  // orphan or duplicate feedback — counted in pass 1
+      }
+      const double propensity = propensity_it->second;
+      logged_propensity.erase(propensity_it);
+      for (Candidate& candidate : candidates) {
+        CandidateReplayer::Joined joined;
+        if (!candidate.replayer.on_feedback(record, joined)) continue;
+        const auto direct_it = candidate.direct.find(record.decision_id);
+        const double direct = direct_it->second;
+        candidate.direct.erase(direct_it);
+        const double weight = joined.q / propensity;
+        candidate.accumulator.add(weight, record.reward, direct,
+                                  model.value(joined.action));
+        if (joined.matched) ++candidate.matched;
+      }
+      empirical.add(record.reward);
+    }
+  }
+
+  result.empirical_mean = empirical.mean();
+  result.empirical_variance = empirical.variance();
+  result.empirical_se = empirical.stderr_mean();
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& candidate = candidates[i];
+    CandidateSummary summary;
+    summary.spec = specs[i];
+    summary.description = candidate.replayer.description();
+    summary.decisions = candidate.decisions;
+    summary.events = candidate.accumulator.events();
+    summary.matched = candidate.matched;
+    summary.ips_mean = candidate.accumulator.ips().mean();
+    summary.ips_variance = candidate.accumulator.ips().variance();
+    summary.ips_se = candidate.accumulator.ips().stderr_mean();
+    summary.snips = candidate.accumulator.snips();
+    summary.dr_mean = candidate.accumulator.dr().mean();
+    summary.dr_variance = candidate.accumulator.dr().variance();
+    summary.dr_se = candidate.accumulator.dr().stderr_mean();
+    summary.ess = candidate.accumulator.ess();
+    summary.weight_sum = candidate.accumulator.weight_sum();
+    summary.max_weight = candidate.accumulator.max_weight();
+    result.candidates.push_back(std::move(summary));
+  }
+  return result;
+}
+
+}  // namespace ncb::replay

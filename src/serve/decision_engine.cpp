@@ -7,20 +7,14 @@
 
 namespace ncb::serve {
 
-namespace {
-
-/// FNV-1a over the user key: stable across runs and platforms (unlike
-/// std::hash), which the replay-determinism contract requires.
-std::uint64_t fnv1a(const std::string& s) noexcept {
+std::uint64_t fnv1a_key(const std::string& key) noexcept {
   std::uint64_t h = 14695981039346656037ULL;
-  for (const char c : s) {
+  for (const char c : key) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ULL;
   }
   return h;
 }
-
-}  // namespace
 
 DecisionEngine::DecisionEngine(Graph graph, const EngineOptions& options,
                                EventLog* log)
@@ -42,7 +36,7 @@ DecisionEngine::DecisionEngine(Graph graph, const EngineOptions& options,
 
 Decision DecisionEngine::decide(const std::string& user_key,
                                 std::uint64_t slot) {
-  const std::uint64_t key_hash = fnv1a(user_key);
+  const std::uint64_t key_hash = fnv1a_key(user_key);
   std::lock_guard<std::mutex> lock(mutex_);
   const TimeSlot t = ++t_;  // global decision order drives the policy clock
   const ArmId greedy = policy_->select(t);

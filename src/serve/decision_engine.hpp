@@ -32,6 +32,12 @@
 
 namespace ncb::serve {
 
+/// FNV-1a over a user key: stable across runs and platforms (unlike
+/// std::hash). Both the live engine and the offline replayer seed a key's
+/// exploration stream with derive_seed_at(seed ^ fnv1a_key(key), i), so the
+/// hash is part of the determinism contract.
+[[nodiscard]] std::uint64_t fnv1a_key(const std::string& key) noexcept;
+
 struct EngineOptions {
   /// Policy registry spec, e.g. "dfl-sso" or "eps-greedy:eps=0.05".
   std::string policy_spec = "dfl-sso";

@@ -8,9 +8,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "dist/protocol.hpp"
 
@@ -289,6 +291,50 @@ EventLogScan read_event_log(const std::string& path) {
     scan.valid_bytes = at;
   }
   return scan;
+}
+
+EventLogJoin join_event_log(const EventLogScan& scan) {
+  EventLogJoin join;
+  join.min_propensity = std::numeric_limits<double>::infinity();
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(scan.decisions);
+  for (const EventRecord& record : scan.records) {
+    if (record.type == EventType::kDecision) {
+      if (!(record.propensity > 0.0)) {
+        throw std::invalid_argument(
+            "event log: decision " + std::to_string(record.decision_id) +
+            " has non-positive propensity " +
+            std::to_string(record.propensity) +
+            " — cannot importance-weight this log");
+      }
+      JoinedEvent event;
+      event.decision_id = record.decision_id;
+      event.key = record.key;
+      event.action = record.action;
+      event.propensity = record.propensity;
+      by_id[record.decision_id] = join.events.size();
+      join.events.push_back(std::move(event));
+      ++join.decisions;
+      if (record.propensity < join.min_propensity) {
+        join.min_propensity = record.propensity;
+      }
+    } else {
+      const auto it = by_id.find(record.decision_id);
+      if (it == by_id.end()) {
+        ++join.orphan_feedbacks;
+        continue;
+      }
+      JoinedEvent& event = join.events[it->second];
+      if (event.has_reward) {
+        ++join.duplicate_feedbacks;
+        continue;
+      }
+      event.reward = record.reward;
+      event.has_reward = true;
+      ++join.joined;
+    }
+  }
+  return join;
 }
 
 }  // namespace ncb::serve

@@ -147,4 +147,36 @@ struct EventLogScan {
 /// version, unknown record type, oversized record, undecodable payload).
 [[nodiscard]] EventLogScan read_event_log(const std::string& path);
 
+/// One decision joined to its reward (when one arrived).
+struct JoinedEvent {
+  std::uint64_t decision_id = 0;
+  std::string key;
+  ArmId action = kNoArm;
+  double propensity = 0.0;
+  double reward = 0.0;
+  bool has_reward = false;
+};
+
+/// A scanned log joined decision-to-reward, the input shape counterfactual
+/// evaluation needs. `events` preserves decision order; the join stats
+/// separate the engine-guaranteed cases (every feedback matches exactly one
+/// earlier decision) from anything a torn or hand-edited log could hold.
+struct EventLogJoin {
+  std::vector<JoinedEvent> events;  ///< One entry per decision record.
+  std::uint64_t decisions = 0;
+  std::uint64_t joined = 0;
+  /// Feedback records whose decision_id matched no earlier decision.
+  std::uint64_t orphan_feedbacks = 0;
+  /// Feedback records for a decision that already had a reward.
+  std::uint64_t duplicate_feedbacks = 0;
+  /// Smallest logged propensity (the epsilon/K exploration floor);
+  /// +infinity when the log holds no decisions.
+  double min_propensity = 0.0;
+};
+
+/// Joins a scan's feedback records to their decisions. Throws
+/// std::invalid_argument when a decision record carries a non-positive
+/// propensity (such a log cannot support importance weighting).
+[[nodiscard]] EventLogJoin join_event_log(const EventLogScan& scan);
+
 }  // namespace ncb::serve
