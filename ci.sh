@@ -4,10 +4,12 @@
 #
 # Usage: ./ci.sh            — everything: the release lane, then ASan/UBSan.
 #        ./ci.sh release    — -Werror Release build, full ctest, observe-path
-#                             smoke, sweep-engine smoke (resume round-trip +
-#                             thread determinism), serve smoke (real server +
-#                             driver + SIGTERM drain), replay smoke (offline
-#                             panel over the serve log + logging-identity pin).
+#                             smoke, sweep-engine smoke (resume round-trip,
+#                             thread determinism, distributed dispatch incl.
+#                             localhost-TCP workers), serve smoke (real server
+#                             + driver + SIGTERM drain), replay smoke (offline
+#                             panel over the serve log + logging-identity pin
+#                             + sharded 2-worker panel).
 #        ./ci.sh asan       — ASan/UBSan build + test suite only. The release
 #                             and asan lanes are disjoint so CI runs them as
 #                             parallel jobs; the no-argument form is their
@@ -100,6 +102,33 @@ EOF
   cmp build/sweep_full.json build/sweep_dist_kill.json
   echo "sweep smoke: distributed (2 workers, incl. SIGKILLed worker) byte-identical"
 
+  # Localhost-TCP transport: a --listen coordinator with two
+  # --worker-connect workers, both carrying the kill key — the injection
+  # fires on attempt 1 only, so exactly one worker dies mid-run and the
+  # requeued attempt must still land on the reference bytes.
+  rm -f build/sweep_tcp.port
+  ./build/examples/ncb_sweep --spec "$spec" --out build/sweep_tcp.json \
+      --listen 127.0.0.1:0 --port-file build/sweep_tcp.port \
+      > build/sweep_tcp.log 2>&1 &
+  local coordinator=$! port='' w1 w2
+  for _ in $(seq 1 200); do
+    [ -s build/sweep_tcp.port ] && { port=$(cat build/sweep_tcp.port); break; }
+    sleep 0.05
+  done
+  [ -n "$port" ]
+  NCB_DIST_KILL_KEY='sso:dfl-sso@er,K=50,p=0.3,n=400' \
+      ./build/examples/ncb_sweep --worker-connect "$port" > /dev/null 2>&1 &
+  w1=$!
+  NCB_DIST_KILL_KEY='sso:dfl-sso@er,K=50,p=0.3,n=400' \
+      ./build/examples/ncb_sweep --worker-connect "$port" > /dev/null 2>&1 &
+  w2=$!
+  wait "$coordinator"
+  wait "$w1" || true  # one of the two exits 137 (SIGKILL injection)
+  wait "$w2" || true
+  grep -q 'requeued 1 assignments' build/sweep_tcp.log
+  cmp build/sweep_full.json build/sweep_tcp.json
+  echo "sweep smoke: localhost TCP (2 workers, one SIGKILLed mid-run) byte-identical"
+
   ./build/examples/ncb_sweep --spec specs/fig3.sweep \
       --out build/fig3_inproc.json
   NCB_DIST_KILL_KEY='sso:moss@er,K=100,p=0.3,n=10000' \
@@ -168,6 +197,16 @@ replay_smoke() {
       --arms 200 --graph er --edge-prob 0.1 --seed 7 --epsilon 0.1 \
       --out build/replay_smoke_2.json > /dev/null
   cmp build/replay_smoke.json build/replay_smoke_2.json
+  # Sharded panel: candidates fanned across 2 worker processes must
+  # reassemble to the single-process bytes, logging identity included.
+  ./build/examples/ncb_replay --log "$log" \
+      --logging-policy 'eps-greedy:eps=0' --policies 'ucb1;dfl-sso' \
+      --arms 200 --graph er --edge-prob 0.1 --seed 7 --epsilon 0.1 \
+      --workers 2 --out build/replay_smoke_dist.json \
+      | tee build/replay_smoke_dist.out
+  grep -q 'logging identity OK' build/replay_smoke_dist.out
+  cmp build/replay_smoke.json build/replay_smoke_dist.json
+  echo "replay smoke: sharded panel (2 workers) byte-identical to single-process"
   # Chop the tail mid-record: inspect must refuse to call the log intact.
   local size
   size=$(stat -c %s "$log")

@@ -17,15 +17,23 @@
 //              [--logging-policy 'eps-greedy:eps=0'] [--epsilon 0.05]
 //              [--arms 100] [--graph er] [--edge-prob 0.3]
 //              [--family-param 4] [--seed N] [--horizon N]
+//              [--workers N | --listen host:port [--port-file F]]
 //              [--out panel.json] [--bench-out bench.json]
+#include <unistd.h>
+
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "dist/process.hpp"
 #include "exp/emitters.hpp"
 #include "exp/sweep_spec.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "replay/dispatch.hpp"
 #include "replay/replay.hpp"
 #include "serve/event_log.hpp"
 #include "sim/experiment.hpp"
@@ -53,8 +61,17 @@ int usage(const char* program) {
          "  --family-param N    cliques count / BA attach / WS k (default: 4)\n"
          "  --seed N            master seed (match the serving run)\n"
          "  --horizon N         horizon hint for policy builders (0 = anytime)\n"
+         "  --workers N         shard the panel across N spawned worker\n"
+         "                      processes (0 = single process; output is\n"
+         "                      byte-identical either way)\n"
+         "  --listen H:P        accept TCP replay workers instead of spawning\n"
+         "                      (port 0 = kernel-assigned; exclusive with\n"
+         "                      --workers)\n"
+         "  --port-file F       write the bound host:port to F (with --listen)\n"
          "  --out <file>        write the panel JSON document\n"
-         "  --bench-out <file>  write panel throughput JSON (events/s)\n";
+         "  --bench-out <file>  write panel throughput JSON (events/s)\n"
+         "(--worker-fd N and --worker-connect H:P are internal: they run the\n"
+         " replay worker loop over an inherited fd / a TCP connection)\n";
   return 2;
 }
 
@@ -76,8 +93,47 @@ int main(int argc, char** argv) {
   try {
     const ArgParse args(argc, argv);
     if (args.has("help")) return usage(args.program().c_str());
+
+    // Internal worker modes: everything (graph config, event stream,
+    // candidate assignments) arrives over the wire, so no other flags.
+    if (args.has("worker-fd")) {
+      replay::ReplayWorkerOptions worker;
+      worker.fd = static_cast<int>(args.get_int("worker-fd", -1));
+      return replay::run_replay_worker(worker);
+    }
+    if (args.has("worker-connect")) {
+      const net::HostPort address = net::parse_host_port(
+          args.get_string("worker-connect", ""), "--worker-connect");
+      replay::ReplayWorkerOptions worker;
+      worker.fd = net::tcp_connect_retry(address, 5000, 10000);
+      const int code = replay::run_replay_worker(worker);
+      ::close(worker.fd);
+      return code;
+    }
+
     const std::string log_path = args.get_string("log", "");
     if (log_path.empty()) return usage(args.program().c_str());
+
+    const auto reject = [&](const std::string& message) {
+      std::cerr << args.program() << ": error: " << message << '\n';
+      return 2;
+    };
+    const int workers = args.get_int("workers", 0);
+    if (workers < 0) return reject("--workers must be >= 0 (0 = in-process)");
+    const std::string listen_text = args.get_string("listen", "");
+    const std::string port_file = args.get_string("port-file", "");
+    if (!listen_text.empty() && workers > 0) {
+      return reject(
+          "--listen and --workers are mutually exclusive: a TCP fleet is "
+          "whoever connects, not a spawned count");
+    }
+    if (!port_file.empty() && listen_text.empty()) {
+      return reject("--port-file requires --listen");
+    }
+    net::HostPort listen_address;
+    if (!listen_text.empty()) {
+      listen_address = net::parse_host_port(listen_text, "--listen");
+    }
 
     const std::string logging_spec = args.get_string("logging-policy", "");
     std::vector<std::string> specs = split_panel(args.get_string("policies", ""));
@@ -119,8 +175,52 @@ int main(int argc, char** argv) {
 
     const Graph graph = build_graph(config);
     Timer timer;
-    const replay::PanelResult panel =
-        replay::replay_panel(graph, scan, specs, options);
+    replay::PanelResult panel;
+    if (workers > 0 || !listen_text.empty()) {
+      // Distributed path: one candidate per worker assignment; the merged
+      // panel is byte-identical to the in-process one (replay/dispatch.hpp).
+      std::unique_ptr<net::StreamTransport> transport;
+      if (!listen_text.empty()) {
+        auto tcp = std::make_unique<net::TcpServerTransport>(listen_address);
+        const std::string bound = net::format_host_port(tcp->bound());
+        std::cout << "ncb_replay: " << specs.size()
+                  << " candidates, listening on " << bound
+                  << " (start workers with --worker-connect " << bound
+                  << ")\n";
+        if (!port_file.empty()) exp::write_file(port_file, bound + "\n");
+        transport = std::move(tcp);
+      } else {
+        transport = std::make_unique<net::ProcessTransport>(
+            std::vector<std::string>{dist::self_exe_path(args.program())});
+        std::cout << "ncb_replay: " << specs.size() << " candidates across "
+                  << workers << " workers\n";
+      }
+      replay::ReplayDispatchOptions dispatch;
+      dispatch.transport = transport.get();
+      dispatch.workers = static_cast<std::size_t>(workers);
+      dispatch.graph_config = &config;
+      const replay::DistPanelSummary summary =
+          replay::run_distributed_panel(graph, scan, specs, options, dispatch);
+      panel = summary.panel;
+      if (summary.requeues > 0) {
+        std::cout << "(requeued " << summary.requeues
+                  << " candidates after worker loss — output unaffected)\n";
+      }
+      for (const net::WorkerSummary& w : summary.workers) {
+        std::cout << "  worker " << w.id << " (" << w.where;
+        if (!w.host.empty()) {
+          std::cout << ", " << w.host << "/" << w.remote_pid;
+        }
+        std::cout << "): " << w.jobs_done << " candidates, "
+                  << exp::json_number(w.seconds) << "s, " << w.bytes_out
+                  << "B out / " << w.bytes_in << "B in"
+                  << (w.lost_in_flight ? "  [lost mid-candidate]"
+                                       : (w.lost ? "  [lost]" : ""))
+                  << "\n";
+      }
+    } else {
+      panel = replay::replay_panel(graph, scan, specs, options);
+    }
     const double elapsed = timer.elapsed_seconds();
 
     std::cout << "ncb_replay: joined " << panel.joined << "/"

@@ -13,15 +13,19 @@
 // Usage:
 //   ncb_sweep --spec specs/fig3.sweep --out fig3.json [--csv fig3.csv]
 //             [--threads N] [--shard-size N] [--max-jobs N] [--workers N]
+//             [--listen host:port] [--port-file <file>]
 //             [--resume] [--dry-run] [--list] [--list-policies]
 #include <signal.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -35,6 +39,8 @@
 #include "exp/emitters.hpp"
 #include "exp/shard_scheduler.hpp"
 #include "exp/sweep_runner.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/arg_parse.hpp"
 #include "util/timer.hpp"
@@ -58,13 +64,21 @@ int usage(const char* program) {
          "  --workers N       dispatch jobs to N worker processes (0 = run\n"
          "                    in-process, default); output is byte-identical\n"
          "                    either way\n"
+         "  --listen H:P      coordinate over TCP instead of spawning: bind\n"
+         "                    host:port (port 0 = kernel-assigned) and wait\n"
+         "                    for workers started elsewhere with\n"
+         "                    --worker-connect host:port; output is still\n"
+         "                    byte-identical\n"
+         "  --port-file F     with --listen: write the bound host:port to F\n"
+         "                    once listening (for scripts using port 0)\n"
          "  --resume          keep finished jobs found in --out, run the rest\n"
          "  --dry-run         print the expanded jobs with slot/shard\n"
          "                    estimates (for sizing runs) and exit\n"
          "  --list            print the expanded job list and exit\n"
          "  --list-policies   print the policy registry and exit\n"
-         "(--worker-fd is internal: it turns this binary into a dispatch\n"
-         " worker on an inherited socket; the coordinator spawns these.)\n";
+         "(--worker-fd and --worker-connect are internal: they turn this\n"
+         " binary into a dispatch worker — on an inherited socket, or by\n"
+         " dialing a --listen coordinator over TCP.)\n";
   return 2;
 }
 
@@ -141,6 +155,19 @@ int main(int argc, char** argv) {
       return dist::run_worker(worker);
     }
 
+    // TCP worker mode: dial a --listen coordinator. Refused connections are
+    // retried briefly — workers routinely start before the coordinator.
+    if (args.has("worker-connect")) {
+      const net::HostPort address = net::parse_host_port(
+          args.get_string("worker-connect", ""), "--worker-connect");
+      dist::WorkerOptions worker;
+      worker.fd = net::tcp_connect_retry(address, 5000, 10000);
+      worker.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+      const int code = dist::run_worker(worker);
+      ::close(worker.fd);
+      return code;
+    }
+
     if (args.has("list-policies")) {
       std::cout << PolicyRegistry::instance().render_listing();
       return 0;
@@ -166,11 +193,31 @@ int main(int argc, char** argv) {
     const auto shard_size = args.get_int("shard-size", 0);
     const auto max_jobs = args.get_int("max-jobs", 0);
     const auto workers = args.get_int("workers", 0);
-    if (threads < 0 || shard_size < 0 || max_jobs < 0 || workers < 0) {
-      std::cerr << args.program()
-                << ": error: --threads/--shard-size/--max-jobs/--workers "
-                   "must be >= 0\n";
+    // Field-named validation: each bad flag names itself, so a cluster
+    // launch script's error message points at the one knob to fix.
+    const auto reject = [&](const std::string& message) {
+      std::cerr << args.program() << ": error: " << message << '\n';
       return 2;
+    };
+    if (threads < 0) return reject("--threads must be >= 0 (0 = auto)");
+    if (shard_size < 0) return reject("--shard-size must be >= 0 (0 = auto)");
+    if (max_jobs < 0) return reject("--max-jobs must be >= 0 (0 = all)");
+    if (workers < 0) return reject("--workers must be >= 0 (0 = in-process)");
+    const std::string listen_text = args.get_string("listen", "");
+    const std::string port_file = args.get_string("port-file", "");
+    if (!listen_text.empty() && workers > 0) {
+      return reject(
+          "--listen and --workers are mutually exclusive: a TCP fleet is "
+          "whoever connects, not a spawned count");
+    }
+    if (!port_file.empty() && listen_text.empty()) {
+      return reject("--port-file requires --listen");
+    }
+    // Parse (and so validate, with --listen-named errors) up front, before
+    // any work happens.
+    net::HostPort listen_address;
+    if (!listen_text.empty()) {
+      listen_address = net::parse_host_port(listen_text, "--listen");
     }
 
     // Resume: harvest finished job lines from a previous (partial) output.
@@ -255,20 +302,37 @@ int main(int argc, char** argv) {
       fresh.emplace(key, std::move(record));
     };
 
-    if (workers > 0) {
-      // Distributed path: spawn worker processes of this binary and stream
+    if (workers > 0 || !listen_text.empty()) {
+      // Distributed path: fan jobs across workers — spawned processes of
+      // this binary, or TCP peers dialing a --listen socket — and stream
       // their deterministic record lines into the same checkpoint file.
-      const std::size_t hardware =
-          std::max(1u, std::thread::hardware_concurrency());
-      const std::size_t per_worker =
-          threads > 0 ? static_cast<std::size_t>(threads)
-                      : std::max<std::size_t>(
-                            1, hardware / static_cast<std::size_t>(workers));
       dist::CoordinatorOptions dist_options;
-      dist_options.workers = static_cast<std::size_t>(workers);
-      dist_options.worker_command = {dist::self_exe_path(args.program()),
-                                     "--threads",
-                                     std::to_string(per_worker)};
+      std::unique_ptr<net::TcpServerTransport> tcp;
+      if (!listen_text.empty()) {
+        tcp = std::make_unique<net::TcpServerTransport>(listen_address);
+        dist_options.transport = tcp.get();
+        const std::string bound = net::format_host_port(tcp->bound());
+        std::cout << "sweep '" << spec.name << "': " << jobs.size()
+                  << " jobs, listening on " << bound
+                  << " (start workers with --worker-connect " << bound
+                  << ")\n";
+        if (!port_file.empty()) write_file(port_file, bound + "\n");
+      } else {
+        const std::size_t hardware =
+            std::max(1u, std::thread::hardware_concurrency());
+        const std::size_t per_worker =
+            threads > 0
+                ? static_cast<std::size_t>(threads)
+                : std::max<std::size_t>(
+                      1, hardware / static_cast<std::size_t>(workers));
+        dist_options.workers = static_cast<std::size_t>(workers);
+        dist_options.worker_command = {dist::self_exe_path(args.program()),
+                                       "--threads",
+                                       std::to_string(per_worker)};
+        std::cout << "sweep '" << spec.name << "': " << jobs.size()
+                  << " jobs, " << workers << " workers x " << per_worker
+                  << " threads\n";
+      }
       dist_options.checkpoints = spec.checkpoints;
       dist_options.shard_size = static_cast<std::size_t>(shard_size) != 0
                                     ? static_cast<std::size_t>(shard_size)
@@ -288,8 +352,6 @@ int main(int argc, char** argv) {
                   << ")\n";
         record_done(result.job->key, result.record_line, std::move(record));
       };
-      std::cout << "sweep '" << spec.name << "': " << jobs.size() << " jobs, "
-                << workers << " workers x " << per_worker << " threads\n";
       const dist::DistSweepSummary summary =
           dist::run_distributed_sweep(jobs, dist_options, skip);
       skipped = summary.skipped;
@@ -299,6 +361,18 @@ int main(int argc, char** argv) {
       if (summary.requeues > 0) {
         std::cout << "(requeued " << summary.requeues
                   << " assignments after worker loss — output unaffected)\n";
+      }
+      for (const net::WorkerSummary& w : summary.workers) {
+        std::cout << "  worker " << w.id << " (" << w.where;
+        if (!w.host.empty()) std::cout << ", " << w.host << "/" << w.remote_pid;
+        std::cout << "): " << w.jobs_done << " jobs, " << std::fixed
+                  << std::setprecision(1) << w.seconds << "s, "
+                  << w.bytes_out << "B out / " << w.bytes_in << "B in"
+                  << (w.lost_in_flight ? "  [lost mid-job]"
+                                       : (w.lost ? "  [lost]" : ""))
+                  << "\n";
+        std::cout.unsetf(std::ios::fixed);
+        std::cout << std::setprecision(6);
       }
     } else {
       ThreadPool pool(static_cast<std::size_t>(threads));

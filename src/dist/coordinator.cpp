@@ -1,38 +1,30 @@
 #include "dist/coordinator.hpp"
 
-#include <poll.h>
-#include <signal.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
 #include <deque>
+#include <memory>
 #include <stdexcept>
 
-#include "dist/process.hpp"
 #include "dist/protocol.hpp"
 #include "exp/emitters.hpp"
+#include "net/transport.hpp"
+#include "net/worker_pool.hpp"
 
 namespace ncb::dist {
 
 namespace {
 
-struct Slot {
-  WorkerProcess proc;
-  FrameDecoder decoder;
-  std::size_t id = 0;  ///< Stable spawn-order id (display only).
-  bool handshaken = false;
-  bool shutdown_sent = false;
-  std::ptrdiff_t job = -1;  ///< Index into the jobs vector, -1 when idle.
-};
-
 class Coordinator {
  public:
   Coordinator(const std::vector<exp::SweepJob>& jobs,
               const CoordinatorOptions& options,
-              const std::set<std::string>& skip_keys)
-      : jobs_(jobs), options_(options), attempts_(jobs.size(), 0) {
+              const std::set<std::string>& skip_keys,
+              net::StreamTransport& transport)
+      : jobs_(jobs), options_(options), attempts_(jobs.size(), 0),
+        pool_(pool_options(transport), pool_hooks()) {
+    // The skip/max_jobs cut happens in expansion order FIRST — which jobs
+    // run must not depend on the scheduling heuristic below, or --max-jobs
+    // resume chains would compute different subsets per transport.
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
       if (skip_keys.count(jobs_[i].key)) {
         ++summary_.skipped;
@@ -43,245 +35,180 @@ class Coordinator {
         ++queued_;
       }
     }
+    // Largest-first by the --dry-run slot estimate (replications ×
+    // horizon). Stable, so equal-cost jobs keep expansion order. Merge is
+    // in canonical expansion order regardless, so this affects makespan
+    // only, never bytes.
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return job_slots(a) > job_slots(b);
+                     });
   }
 
-  // abort_run throws deliberately, but exceptions can also escape from
-  // elsewhere (spawn failure, a throwing on_result callback). Whatever the
-  // exit path, no worker process may outlive the coordinator un-reaped.
-  ~Coordinator() { kill_and_reap_all(); }
-
   DistSweepSummary run() {
-    if (queue_.empty()) return std::move(summary_);
-    const std::size_t fleet =
-        std::max<std::size_t>(1, std::min(options_.workers, queue_.size()));
-    for (std::size_t i = 0; i < fleet; ++i) spawn_one();
+    if (queue_.empty()) {
+      summary_.workers = pool_.summaries();
+      return std::move(summary_);
+    }
+    if (pool_.can_spawn()) {
+      const std::size_t fleet =
+          std::max<std::size_t>(1, std::min(options_.workers, queue_.size()));
+      pool_.spawn(fleet);
+    }
 
-    while (live_ > 0) {
+    // Run until the fleet drains: on a spawning transport workers exist
+    // from the start; on an accept transport the queue holds the loop open
+    // while the first worker is still dialing in.
+    while (pool_.live() > 0 ||
+           (!stopping_ && (!queue_.empty() || in_flight() > 0))) {
       if (!stopping_ && options_.should_stop && options_.should_stop()) {
         stopping_ = true;
         // Idle workers have nothing to drain — release them now.
-        for (Slot& slot : slots_) {
-          if (slot.proc.fd >= 0 && slot.handshaken && slot.job < 0) {
-            send_shutdown(slot);
+        for (net::PoolWorker& worker : pool_.workers()) {
+          if (worker.peer.fd >= 0 && worker.admitted && worker.user_tag < 0) {
+            pool_.send_shutdown(worker);
           }
         }
       }
-      poll_once();
+      pool_.poll_once(200);
+      maintain_fleet();
+      // A requeue (worker lost) or a late admission may leave queued work
+      // next to idle workers — hand it out every turn, and drain the fleet
+      // once nothing is queued or in flight.
+      for (net::PoolWorker& worker : pool_.workers()) dispatch(worker);
     }
 
     summary_.pending += queue_.size();
     summary_.interrupted = stopping_;
+    summary_.workers = pool_.summaries();
     return std::move(summary_);
   }
 
  private:
-  // slots_ is a deque so spawning a replacement never invalidates the Slot
-  // references held further up the call stack (read_ready/handle_frame).
-  void spawn_one() {
-    Slot slot;
-    slot.id = next_id_++;
-    slot.proc = spawn_worker(options_.worker_command);
-    slots_.push_back(std::move(slot));
-    ++live_;
+  [[nodiscard]] net::WorkerPool::Options pool_options(
+      net::StreamTransport& transport) const {
+    net::WorkerPool::Options opts;
+    opts.transport = &transport;
+    opts.expected_schema =
+        static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
+    // Spawned workers that cannot start is a broken binary — give up
+    // after a respawn round. Accepted peers are out of our control, so a
+    // noisy network gets a wider (but still bounded) budget.
+    opts.admission_budget = transport.can_spawn() ? options_.workers + 2 : 32;
+    return opts;
   }
 
-  void kill_and_reap_all() {
-    for (Slot& slot : slots_) {
-      if (slot.proc.fd < 0) continue;
-      kill_worker(slot.proc.pid, SIGKILL);
-      ::close(slot.proc.fd);
-      slot.proc.fd = -1;
-      reap_worker(slot.proc.pid);
-      --live_;
+  [[nodiscard]] net::WorkerPool::Hooks pool_hooks() {
+    net::WorkerPool::Hooks hooks;
+    hooks.on_admitted = [this](net::PoolWorker& worker) { dispatch(worker); };
+    hooks.on_frame = [this](net::PoolWorker& worker, const Frame& frame) {
+      handle_frame(worker, frame);
+    };
+    hooks.on_lost = [this](net::PoolWorker& worker) { worker_lost(worker); };
+    return hooks;
+  }
+
+  [[nodiscard]] std::uint64_t job_slots(std::size_t index) const {
+    return static_cast<std::uint64_t>(jobs_[index].config.replications) *
+           static_cast<std::uint64_t>(jobs_[index].config.horizon);
+  }
+
+  [[nodiscard]] std::size_t in_flight() const {
+    std::size_t n = 0;
+    for (const net::PoolWorker& worker : pool_.workers()) {
+      if (worker.peer.fd >= 0 && worker.user_tag >= 0) ++n;
     }
+    return n;
   }
 
-  [[noreturn]] void abort_run(const std::string& message) {
-    kill_and_reap_all();
-    throw std::runtime_error(message);
-  }
-
-  void send_shutdown(Slot& slot) {
-    if (slot.shutdown_sent) return;
-    slot.shutdown_sent = true;
-    try {
-      write_frame(slot.proc.fd, MsgType::kShutdown, "");
-    } catch (const std::exception&) {
-      worker_died(slot);
-    }
-  }
-
-  /// Hands the next queued job to an idle, handshaken worker — or a
+  /// Hands the next queued job to an idle, admitted worker — or a
   /// Shutdown when there is nothing left for it to do.
-  void dispatch(Slot& slot) {
-    if (slot.proc.fd < 0 || !slot.handshaken || slot.job >= 0 ||
-        slot.shutdown_sent) {
+  void dispatch(net::PoolWorker& worker) {
+    if (worker.peer.fd < 0 || !worker.admitted || worker.user_tag >= 0 ||
+        worker.shutdown_sent) {
       return;
     }
-    if (stopping_ || queue_.empty()) {
-      send_shutdown(slot);
+    if (stopping_ || (queue_.empty() && in_flight() == 0)) {
+      pool_.send_shutdown(worker);
       return;
     }
+    // Queue momentarily empty but jobs are in flight: stay idle — a crash
+    // could requeue one of them, and this worker is where it would land.
+    if (queue_.empty()) return;
     const std::size_t index = queue_.front();
     queue_.pop_front();
-    slot.job = static_cast<std::ptrdiff_t>(index);
+    worker.user_tag = static_cast<std::ptrdiff_t>(index);
     JobAssignMsg assign;
     assign.attempt = static_cast<std::uint32_t>(attempts_[index] + 1);
     assign.checkpoints = options_.checkpoints;
     assign.shard_size = options_.shard_size;
     assign.job = jobs_[index];
-    try {
-      write_frame(slot.proc.fd, MsgType::kJobAssign,
-                  encode_job_assign(assign));
-    } catch (const std::exception&) {
-      worker_died(slot);  // requeues the job we just marked in-flight
-    }
+    // A failed send releases the worker, which requeues via on_lost.
+    pool_.send(worker, MsgType::kJobAssign, encode_job_assign(assign));
   }
 
-  void worker_died(Slot& slot) {
-    if (slot.proc.fd < 0) return;
-    ::close(slot.proc.fd);
-    slot.proc.fd = -1;
-    reap_worker(slot.proc.pid);
-    --live_;
-
-    if (slot.job >= 0) {
-      const std::size_t index = static_cast<std::size_t>(slot.job);
-      slot.job = -1;
-      ++attempts_[index];
-      if (!stopping_ && attempts_[index] >= options_.max_attempts) {
-        abort_run("job '" + jobs_[index].key + "' crashed its worker " +
-                  std::to_string(attempts_[index]) +
-                  " times — aborting (results so far are resumable)");
-      }
-      // Requeue at the front with the job's original seed counter: the
-      // retry recomputes bit-identical records, so the merged output does
-      // not depend on the crash at all.
-      queue_.push_front(index);
-      if (!stopping_) ++summary_.requeues;
-    } else if (!slot.handshaken) {
-      // Death before Hello: exec failure or an incompatible binary. A
-      // bounded budget stops a respawn storm when workers can never start.
-      if (++prelaunch_deaths_ > options_.workers + 2) {
-        abort_run(
-            "workers keep exiting before the handshake — is the worker "
-            "binary runnable?");
-      }
+  void worker_lost(net::PoolWorker& worker) {
+    if (worker.user_tag < 0) return;
+    const std::size_t index = static_cast<std::size_t>(worker.user_tag);
+    ++attempts_[index];
+    if (!stopping_ && attempts_[index] >= options_.max_attempts) {
+      throw std::runtime_error(
+          "job '" + jobs_[index].key + "' crashed its worker " +
+          std::to_string(attempts_[index]) +
+          " times — aborting (results so far are resumable)");
     }
-
-    if (!stopping_) {
-      const std::size_t wanted =
-          std::min(options_.workers, queue_.size() + in_flight());
-      while (live_ < wanted) spawn_one();
-    }
+    // Requeue at the front with the job's original seed counter: the
+    // retry recomputes bit-identical records, so the merged output does
+    // not depend on the crash at all.
+    queue_.push_front(index);
+    if (!stopping_) ++summary_.requeues;
   }
 
-  [[nodiscard]] std::size_t in_flight() const {
-    std::size_t n = 0;
-    for (const Slot& slot : slots_) {
-      if (slot.proc.fd >= 0 && slot.job >= 0) ++n;
-    }
-    return n;
+  void maintain_fleet() {
+    if (stopping_ || !pool_.can_spawn()) return;
+    const std::size_t wanted =
+        std::min(options_.workers, queue_.size() + in_flight());
+    while (pool_.live() < wanted) pool_.spawn(1);
   }
 
-  void handle_frame(Slot& slot, const Frame& frame) {
+  void handle_frame(net::PoolWorker& worker, const Frame& frame) {
     switch (frame.type) {
-      case MsgType::kHello: {
-        const HelloMsg hello = decode_hello(frame.payload);
-        const auto mismatch = validate_hello(
-            hello, static_cast<std::uint32_t>(exp::kSweepSchemaVersion));
-        if (mismatch) abort_run(*mismatch);
-        slot.handshaken = true;
-        try {
-          write_frame(slot.proc.fd, MsgType::kHelloAck, encode_hello_ack());
-        } catch (const std::exception&) {
-          worker_died(slot);
-          return;
-        }
-        dispatch(slot);
-        return;
-      }
       case MsgType::kJobResult: {
         const JobResultMsg result = decode_job_result(frame.payload);
-        if (slot.job < 0 ||
-            jobs_[static_cast<std::size_t>(slot.job)].key != result.key) {
-          abort_run("protocol violation: result for '" + result.key +
-                    "' does not match the worker's assignment");
+        if (worker.user_tag < 0 ||
+            jobs_[static_cast<std::size_t>(worker.user_tag)].key !=
+                result.key) {
+          throw std::runtime_error("protocol violation: result for '" +
+                                   result.key +
+                                   "' does not match the worker's assignment");
         }
-        const std::size_t index = static_cast<std::size_t>(slot.job);
-        slot.job = -1;
+        const std::size_t index = static_cast<std::size_t>(worker.user_tag);
+        worker.user_tag = -1;
+        ++worker.jobs_done;
         DistJobResult done;
         done.job = &jobs_[index];
         done.record_line = result.record_line;
         done.seconds = result.seconds;
         done.shards = static_cast<std::size_t>(result.shards);
         done.shard_size = static_cast<std::size_t>(result.shard_size);
-        done.worker = slot.id;
+        done.worker = worker.id;
         done.attempts = attempts_[index] + 1;
         summary_.policy_seconds[jobs_[index].policy].add(result.seconds);
         if (options_.on_result) options_.on_result(done);
         summary_.results.emplace(jobs_[index].key, std::move(done));
-        dispatch(slot);
+        dispatch(worker);
         return;
       }
       case MsgType::kWorkerError: {
         const WorkerErrorMsg error = decode_worker_error(frame.payload);
-        abort_run("worker failed on job '" + error.key +
-                  "': " + error.message);
+        throw std::runtime_error("worker failed on job '" + error.key +
+                                 "': " + error.message);
       }
       default:
-        abort_run("protocol violation: unexpected frame type " +
-                  std::to_string(static_cast<int>(frame.type)) +
-                  " from a worker");
-    }
-  }
-
-  void poll_once() {
-    std::vector<pollfd> fds;
-    std::vector<std::size_t> owners;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i].proc.fd < 0) continue;
-      fds.push_back(pollfd{slots_[i].proc.fd, POLLIN, 0});
-      owners.push_back(i);
-    }
-    if (fds.empty()) return;
-    // Finite timeout so should_stop (a signal flag) is noticed even while
-    // every worker is deep in a long job.
-    const int ready = ::poll(fds.data(), fds.size(), 200);
-    if (ready < 0) {
-      if (errno == EINTR) return;  // signal → should_stop check next round
-      abort_run(std::string("poll failed: ") + std::strerror(errno));
-    }
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (fds[i].revents == 0) continue;
-      Slot& slot = slots_[owners[i]];
-      if (slot.proc.fd < 0) continue;  // died while handling a sibling
-      read_ready(slot);
-    }
-  }
-
-  void read_ready(Slot& slot) {
-    char buf[65536];
-    const ssize_t n = ::read(slot.proc.fd, buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN) return;
-      worker_died(slot);
-      return;
-    }
-    if (n == 0) {
-      worker_died(slot);
-      return;
-    }
-    try {
-      slot.decoder.feed(buf, static_cast<std::size_t>(n));
-      while (true) {
-        const auto frame = slot.decoder.next();
-        if (!frame) break;
-        handle_frame(slot, *frame);
-        if (slot.proc.fd < 0) break;
-      }
-    } catch (const std::invalid_argument& e) {
-      abort_run(std::string("malformed frame from worker: ") + e.what());
+        throw std::runtime_error("protocol violation: unexpected frame type " +
+                                 frame_type_label(static_cast<std::uint8_t>(
+                                     frame.type)) +
+                                 " from a worker");
     }
   }
 
@@ -289,13 +216,12 @@ class Coordinator {
   const CoordinatorOptions& options_;
   std::vector<std::size_t> attempts_;
   std::deque<std::size_t> queue_;
-  std::deque<Slot> slots_;
   DistSweepSummary summary_;
   std::size_t queued_ = 0;
-  std::size_t live_ = 0;
-  std::size_t next_id_ = 0;
-  std::size_t prelaunch_deaths_ = 0;
   bool stopping_ = false;
+  // Last member: its destructor (which releases every peer) runs first on
+  // any exit path, including the throws above.
+  net::WorkerPool pool_;
 };
 
 }  // namespace
@@ -303,10 +229,16 @@ class Coordinator {
 DistSweepSummary run_distributed_sweep(const std::vector<exp::SweepJob>& jobs,
                                        const CoordinatorOptions& options,
                                        const std::set<std::string>& skip_keys) {
-  if (options.worker_command.empty()) {
+  if (options.transport == nullptr && options.worker_command.empty()) {
     throw std::invalid_argument("run_distributed_sweep: no worker command");
   }
-  Coordinator coordinator(jobs, options, skip_keys);
+  std::unique_ptr<net::ProcessTransport> owned;
+  net::StreamTransport* transport = options.transport;
+  if (transport == nullptr) {
+    owned = std::make_unique<net::ProcessTransport>(options.worker_command);
+    transport = owned.get();
+  }
+  Coordinator coordinator(jobs, options, skip_keys, *transport);
   return coordinator.run();
 }
 

@@ -1,15 +1,23 @@
 // The coordinator end of the dispatch protocol: expand-once, pull-based
-// job dispatch over a fleet of local worker processes, with crash requeue.
+// job dispatch over a fleet of workers, with crash requeue. Workers arrive
+// through a net::StreamTransport — forked local processes or TCP peers
+// dialing in from other machines — and the coordinator treats both
+// identically once admitted (see net/worker_pool.hpp).
 //
 // Dispatch is demand-driven (the idle worker gets the next job), so fast
 // workers naturally take more of the grid — work stealing without a shared
-// queue. Determinism is never entrusted to scheduling: every job's
-// replications derive counter-based seeds from the job's own spec
-// coordinates, so a job computes the same bytes on any worker and any
-// attempt, and the caller merges record lines in canonical expansion order.
-// A worker lost mid-job (crash, SIGKILL) is reaped, its job is requeued at
-// the front with its original seed counter, and a replacement process is
-// spawned — the merged output is byte-identical to an undisturbed run.
+// queue. Jobs are handed out largest-first (by replications × horizon, the
+// --dry-run slot estimate): on a heterogeneous fleet the long poles start
+// early and the stragglers at the end are cheap, shortening the makespan.
+// Determinism is never entrusted to scheduling: every job's replications
+// derive counter-based seeds from the job's own spec coordinates, so a job
+// computes the same bytes on any worker and any attempt, and the caller
+// merges record lines in canonical expansion order — dispatch order, like
+// completion order, never shows in the output. A worker lost mid-job
+// (crash, SIGKILL, dropped connection) has its job requeued at the front
+// with its original seed counter; on a spawning transport a replacement
+// process is started — the merged output is byte-identical to an
+// undisturbed run.
 #pragma once
 
 #include <functional>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "exp/sweep_spec.hpp"
+#include "net/worker_pool.hpp"
 #include "util/running_stat.hpp"
 
 namespace ncb::dist {
@@ -36,10 +45,18 @@ struct DistJobResult {
 };
 
 struct CoordinatorOptions {
-  /// Worker process count (capped at the eligible job count).
+  /// Worker process count (capped at the eligible job count). Ignored on
+  /// an accept-based transport, where the fleet is whoever connects.
   std::size_t workers = 2;
   /// argv to exec for each worker; spawn_worker appends `--worker-fd <n>`.
+  /// Ignored when `transport` is set.
   std::vector<std::string> worker_command;
+  /// Where worker streams come from. Null → an internal ProcessTransport
+  /// built from `worker_command` (the single-machine fork/exec path).
+  /// The byte-identical-output guarantee holds across transports: jobs
+  /// derive counter-based seeds from their spec coordinates and results
+  /// merge in canonical expansion order, so WHERE a job ran never shows.
+  net::StreamTransport* transport = nullptr;
   /// Per-job checkpoint count (SweepSpec::checkpoints).
   std::size_t checkpoints = 30;
   /// Shard-size override forwarded to workers (0 = horizon-aware auto).
@@ -65,6 +82,8 @@ struct DistSweepSummary {
   bool interrupted = false;  ///< should_stop fired mid-sweep.
   /// Worker wall-clock seconds per policy spec (display only).
   std::map<std::string, RunningStat> policy_seconds;
+  /// Per-worker accounting (jobs, bytes, wall time) in admission order.
+  std::vector<net::WorkerSummary> workers;
 };
 
 /// Runs `jobs` minus `skip_keys` across worker processes and collects one

@@ -123,6 +123,16 @@ const char* frame_type_name(MsgType type) noexcept {
       return "DecideReply";
     case MsgType::kFeedback:
       return "Feedback";
+    case MsgType::kWorkerInfo:
+      return "WorkerInfo";
+    case MsgType::kReplayInit:
+      return "ReplayInit";
+    case MsgType::kReplayEvents:
+      return "ReplayEvents";
+    case MsgType::kReplayAssign:
+      return "ReplayAssign";
+    case MsgType::kReplayResult:
+      return "ReplayResult";
   }
   return "unknown";
 }
@@ -272,6 +282,24 @@ WorkerErrorMsg decode_worker_error(const std::string& payload) {
   return msg;
 }
 
+std::string encode_worker_info(const WorkerInfoMsg& msg) {
+  WireWriter out;
+  out.put_string(msg.host);
+  out.put_u64(msg.pid);
+  out.put_u64(msg.threads);
+  return out.take();
+}
+
+WorkerInfoMsg decode_worker_info(const std::string& payload) {
+  WireReader in(payload);
+  WorkerInfoMsg msg;
+  msg.host = in.get_string();
+  msg.pid = in.get_u64();
+  msg.threads = in.get_u64();
+  in.finish();
+  return msg;
+}
+
 std::string encode_decide_request(const DecideRequestMsg& msg) {
   WireWriter out;
   out.put_u64(msg.request_id);
@@ -336,7 +364,7 @@ constexpr std::size_t kFrameHeaderBytes = 5;  // u32 length + u8 type.
 
 bool valid_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         type <= static_cast<std::uint8_t>(MsgType::kFeedback);
+         type <= static_cast<std::uint8_t>(MsgType::kReplayResult);
 }
 
 /// Parses a frame header; throws on an unusable length or type.

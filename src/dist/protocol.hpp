@@ -45,7 +45,8 @@ class PeerClosedError : public std::runtime_error {
 inline constexpr std::uint32_t kProtocolMagic = 0x4e434250;  // "NCBP"
 /// Bump on any framing or payload layout change.
 /// v2: serve frame types (DecideRequest / DecideReply / Feedback).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: WorkerInfo admission frame + distributed-replay frame types.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Upper bound on a frame payload; a corrupted length prefix fails fast
 /// instead of attempting a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
@@ -60,6 +61,11 @@ enum class MsgType : std::uint8_t {
   kDecideRequest = 7,  ///< serve client → server: one decision request.
   kDecideReply = 8,    ///< server → serve client: action + propensity.
   kFeedback = 9,       ///< serve client → server: reward join (no reply).
+  kWorkerInfo = 10,    ///< worker → coordinator: identity after Hello.
+  kReplayInit = 11,    ///< replay coordinator → worker: config + model.
+  kReplayEvents = 12,  ///< replay coordinator → worker: one log chunk.
+  kReplayAssign = 13,  ///< replay coordinator → worker: one candidate.
+  kReplayResult = 14,  ///< replay worker → coordinator: estimator state.
 };
 
 /// Stable display name of a message type ("Hello", "DecideReply", ...);
@@ -86,6 +92,8 @@ class WireWriter {
   void put_double(double v);  ///< IEEE-754 bit pattern as u64 (exact).
   void put_string(const std::string& s);
 
+  /// Bytes packed so far (for callers batching payloads up to a budget).
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
   [[nodiscard]] std::string take() { return std::move(buffer_); }
 
  private:
@@ -139,6 +147,15 @@ struct WorkerErrorMsg {
   std::string message;
 };
 
+/// Worker self-identification, sent immediately after Hello. Admission is
+/// gated on receiving it: a peer that never identifies is never dispatched
+/// to. `threads` lets the coordinator report fleet capacity.
+struct WorkerInfoMsg {
+  std::string host;
+  std::uint64_t pid = 0;
+  std::uint64_t threads = 0;
+};
+
 [[nodiscard]] std::string encode_hello(const HelloMsg& msg);
 [[nodiscard]] HelloMsg decode_hello(const std::string& payload);
 /// Empty optional when the hello is acceptable; otherwise a human-readable
@@ -158,6 +175,9 @@ void decode_hello_ack(const std::string& payload);
 
 [[nodiscard]] std::string encode_worker_error(const WorkerErrorMsg& msg);
 [[nodiscard]] WorkerErrorMsg decode_worker_error(const std::string& payload);
+
+[[nodiscard]] std::string encode_worker_info(const WorkerInfoMsg& msg);
+[[nodiscard]] WorkerInfoMsg decode_worker_info(const std::string& payload);
 
 // ------------------------------------------------- serve message types ---
 

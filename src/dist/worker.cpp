@@ -1,11 +1,14 @@
 #include "dist/worker.hpp"
 
 #include <signal.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <optional>
+#include <thread>
 
 #include "dist/protocol.hpp"
 #include "exp/emitters.hpp"
@@ -26,26 +29,49 @@ void maybe_inject_crash(const JobAssignMsg& msg) {
 
 }  // namespace
 
-int run_worker(const WorkerOptions& options) {
-  ::signal(SIGINT, SIG_IGN);  // the coordinator owns interrupt handling
-
+int worker_handshake(int fd, std::uint32_t schema, std::size_t threads,
+                     const std::string& who) {
   HelloMsg hello;
-  hello.schema = static_cast<std::uint32_t>(exp::kSweepSchemaVersion);
+  hello.schema = schema;
+  WorkerInfoMsg info;
+  char hostname[256] = {0};
+  if (::gethostname(hostname, sizeof hostname - 1) == 0) info.host = hostname;
+  info.pid = static_cast<std::uint64_t>(::getpid());
+  info.threads = threads != 0
+                     ? threads
+                     : std::max(1u, std::thread::hardware_concurrency());
   try {
-    write_frame(options.fd, MsgType::kHello, encode_hello(hello));
-    const std::optional<Frame> ack = read_frame(options.fd);
-    if (!ack) return 0;  // coordinator vanished before the handshake
+    write_frame(fd, MsgType::kHello, encode_hello(hello));
+    write_frame(fd, MsgType::kWorkerInfo, encode_worker_info(info));
+    const std::optional<Frame> ack = read_frame(fd);
+    if (!ack) return 1;  // coordinator vanished before the handshake
     if (ack->type != MsgType::kHelloAck) {
-      std::cerr << "ncb_sweep worker: expected HelloAck, got type "
+      std::cerr << who << ": expected HelloAck, got type "
                 << static_cast<int>(ack->type) << '\n';
       return 2;
     }
     decode_hello_ack(ack->payload);
   } catch (const PeerClosedError&) {
-    return 0;  // coordinator vanished mid-handshake — nothing was lost
+    return 1;  // coordinator vanished mid-handshake — nothing was lost
   } catch (const std::exception& e) {
-    std::cerr << "ncb_sweep worker: handshake failed: " << e.what() << '\n';
+    std::cerr << who << ": handshake failed: " << e.what() << '\n';
     return 2;
+  }
+  return 0;
+}
+
+int run_worker(const WorkerOptions& options) {
+  ::signal(SIGINT, SIG_IGN);  // the coordinator owns interrupt handling
+
+  switch (worker_handshake(options.fd,
+                           static_cast<std::uint32_t>(exp::kSweepSchemaVersion),
+                           options.threads, "ncb_sweep worker")) {
+    case 0:
+      break;
+    case 1:
+      return 0;
+    default:
+      return 2;
   }
 
   ThreadPool pool(options.threads);

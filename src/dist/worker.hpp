@@ -6,8 +6,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 namespace ncb::dist {
+
+/// Worker side of the admission handshake shared by every worker kind
+/// (sweep jobs, replay candidates): sends Hello carrying `schema`, then a
+/// WorkerInfo identity frame (hostname, pid, resolved thread count), then
+/// waits for HelloAck. Returns 0 when admitted, 1 when the coordinator
+/// vanished before admission (a clean no-work exit), 2 on a version or
+/// protocol mismatch (diagnostics go to stderr prefixed with `who`).
+[[nodiscard]] int worker_handshake(int fd, std::uint32_t schema,
+                                   std::size_t threads,
+                                   const std::string& who);
 
 struct WorkerOptions {
   int fd = -1;            ///< Connected stream to the coordinator.

@@ -1,0 +1,228 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace ncb::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error(message);
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail(std::string("fcntl(F_GETFL): ") + std::strerror(errno));
+  const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, wanted) < 0) {
+    fail(std::string("fcntl(F_SETFL): ") + std::strerror(errno));
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best effort: a transport that cannot set NODELAY still works, just
+  // with Nagle latency on small frames.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Resolves host:port to an IPv4 sockaddr. Numeric addresses and hostnames
+/// both go through getaddrinfo; failures name the endpoint.
+sockaddr_in resolve(const HostPort& address) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string port = std::to_string(address.port);
+  const int rc =
+      ::getaddrinfo(address.host.c_str(), port.c_str(), &hints, &found);
+  if (rc != 0) {
+    fail("cannot resolve '" + format_host_port(address) +
+         "': " + ::gai_strerror(rc));
+  }
+  sockaddr_in out{};
+  std::memcpy(&out, found->ai_addr, sizeof out);
+  ::freeaddrinfo(found);
+  return out;
+}
+
+std::string peer_name(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip);
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+std::string format_host_port(const HostPort& address) {
+  return address.host + ":" + std::to_string(address.port);
+}
+
+HostPort parse_host_port(const std::string& text, const std::string& flag) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument(flag + ": expected host:port, got '" + text +
+                                "'");
+  }
+  HostPort out;
+  out.host = text.substr(0, colon);
+  const std::string port = text.substr(colon + 1);
+  if (port.empty() ||
+      port.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(flag + ": port must be a decimal integer, "
+                                       "got '" +
+                                port + "' in '" + text + "'");
+  }
+  unsigned long value = 0;
+  try {
+    value = std::stoul(port);
+  } catch (const std::exception&) {
+    value = 65536;  // overflow → out-of-range error below
+  }
+  if (value > 65535) {
+    throw std::invalid_argument(flag + ": port " + port +
+                                " is out of range (0-65535)");
+  }
+  out.port = static_cast<std::uint16_t>(value);
+  return out;
+}
+
+int tcp_connect(const HostPort& address, int timeout_ms) {
+  const sockaddr_in target = resolve(address);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail(std::string("socket: ") + std::strerror(errno));
+
+  try {
+    set_nonblocking(fd, true);
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&target),
+                       sizeof target);
+    if (rc < 0 && errno != EINPROGRESS) {
+      if (errno == ECONNREFUSED) {
+        fail("connection refused by " + format_host_port(address) +
+             " — is the coordinator listening?");
+      }
+      fail("connect to " + format_host_port(address) +
+           " failed: " + std::strerror(errno));
+    }
+    if (rc < 0) {
+      // In progress: wait for writability, then read the final status.
+      pollfd waiter{fd, POLLOUT, 0};
+      do {
+        rc = ::poll(&waiter, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        fail("connect to " + format_host_port(address) + " timed out after " +
+             std::to_string(timeout_ms) + " ms");
+      }
+      if (rc < 0) fail(std::string("poll: ") + std::strerror(errno));
+      int status = 0;
+      socklen_t len = sizeof status;
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &status, &len) < 0) {
+        fail(std::string("getsockopt(SO_ERROR): ") + std::strerror(errno));
+      }
+      if (status == ECONNREFUSED) {
+        fail("connection refused by " + format_host_port(address) +
+             " — is the coordinator listening?");
+      }
+      if (status != 0) {
+        fail("connect to " + format_host_port(address) +
+             " failed: " + std::strerror(status));
+      }
+    }
+    set_nonblocking(fd, false);
+    set_nodelay(fd);
+    return fd;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+int tcp_connect_retry(const HostPort& address, int timeout_ms,
+                      int retry_total_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_total_ms);
+  while (true) {
+    try {
+      return tcp_connect(address, timeout_ms);
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      const bool refused = what.find("refused") != std::string::npos;
+      if (!refused || std::chrono::steady_clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+}
+
+TcpListener::TcpListener(const HostPort& bind_address) {
+  const sockaddr_in target = resolve(bind_address);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail(std::string("socket: ") + std::strerror(errno));
+  try {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+      fail(std::string("setsockopt(SO_REUSEADDR): ") + std::strerror(errno));
+    }
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&target),
+               sizeof target) < 0) {
+      if (errno == EADDRINUSE) {
+        fail("address already in use: " + format_host_port(bind_address) +
+             " — another coordinator (or a lingering socket) holds the port");
+      }
+      fail("bind " + format_host_port(bind_address) +
+           " failed: " + std::strerror(errno));
+    }
+    if (::listen(fd_, 64) < 0) {
+      fail(std::string("listen: ") + std::strerror(errno));
+    }
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+      fail(std::string("getsockname: ") + std::strerror(errno));
+    }
+    bound_.host = bind_address.host;
+    bound_.port = ntohs(actual.sin_port);
+    set_nonblocking(fd_, true);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::pair<int, std::string>> TcpListener::accept_pending() {
+  std::vector<std::pair<int, std::string>> accepted;
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd = ::accept4(fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                             SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      fail(std::string("accept: ") + std::strerror(errno));
+    }
+    set_nodelay(fd);
+    accepted.emplace_back(fd, peer_name(peer));
+  }
+  return accepted;
+}
+
+}  // namespace ncb::net

@@ -1,0 +1,579 @@
+#include "replay/dispatch.hpp"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <iostream>
+#include <optional>
+#include <stdexcept>
+
+#include "core/policy_registry.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
+#include "exp/sweep_spec.hpp"
+
+namespace ncb::replay {
+
+namespace {
+
+using dist::Frame;
+using dist::MsgType;
+using dist::WireReader;
+using dist::WireWriter;
+
+/// Target encoded size of one ReplayEvents chunk. Well under the 16 MiB
+/// frame cap with room for the longest plausible key; small enough that a
+/// slow link shows steady progress instead of one giant stall.
+constexpr std::size_t kChunkBytes = 1u << 20;
+
+// ------------------------------------------------------ wire payloads ---
+// All doubles travel as IEEE-754 bit patterns (WireWriter::put_double), so
+// every numeric input to score_candidate reaches the worker exactly — the
+// precondition for the byte-identical assembled panel.
+
+struct ReplayInitMsg {
+  double epsilon = 0.0;
+  std::uint64_t seed = 0;
+  std::int64_t horizon = 0;
+  std::string family;  ///< exp::family_token of the graph family.
+  std::uint64_t num_arms = 0;
+  double edge_probability = 0.0;
+  std::uint64_t family_param = 0;
+  std::uint64_t graph_seed = 0;
+  double model_arm_average = 0.0;
+  std::vector<double> arm_model;
+  std::uint32_t chunks = 0;        ///< ReplayEvents frames to expect.
+  std::uint64_t total_records = 0; ///< Sum of chunk record counts.
+};
+
+std::string encode_replay_init(const ReplayInitMsg& msg) {
+  WireWriter out;
+  out.put_double(msg.epsilon);
+  out.put_u64(msg.seed);
+  out.put_u64(static_cast<std::uint64_t>(msg.horizon));
+  out.put_string(msg.family);
+  out.put_u64(msg.num_arms);
+  out.put_double(msg.edge_probability);
+  out.put_u64(msg.family_param);
+  out.put_u64(msg.graph_seed);
+  out.put_double(msg.model_arm_average);
+  out.put_u64(msg.arm_model.size());
+  for (double value : msg.arm_model) out.put_double(value);
+  out.put_u32(msg.chunks);
+  out.put_u64(msg.total_records);
+  return out.take();
+}
+
+ReplayInitMsg decode_replay_init(const std::string& payload) {
+  WireReader in(payload);
+  ReplayInitMsg msg;
+  msg.epsilon = in.get_double();
+  msg.seed = in.get_u64();
+  msg.horizon = static_cast<std::int64_t>(in.get_u64());
+  msg.family = in.get_string();
+  msg.num_arms = in.get_u64();
+  msg.edge_probability = in.get_double();
+  msg.family_param = in.get_u64();
+  msg.graph_seed = in.get_u64();
+  msg.model_arm_average = in.get_double();
+  const std::uint64_t arms = in.get_u64();
+  msg.arm_model.reserve(arms);
+  for (std::uint64_t i = 0; i < arms; ++i) {
+    msg.arm_model.push_back(in.get_double());
+  }
+  msg.chunks = in.get_u32();
+  msg.total_records = in.get_u64();
+  in.finish();
+  return msg;
+}
+
+void encode_event_record(WireWriter& out, const serve::EventRecord& record) {
+  const bool decision = record.type == serve::EventType::kDecision;
+  out.put_u8(decision ? 1 : 2);
+  out.put_u64(record.decision_id);
+  if (decision) {
+    out.put_string(record.key);
+    out.put_u32(static_cast<std::uint32_t>(record.action));
+    out.put_double(record.propensity);
+  } else {
+    out.put_double(record.reward);
+  }
+}
+
+serve::EventRecord decode_event_record(WireReader& in) {
+  serve::EventRecord record;
+  const std::uint8_t type = in.get_u8();
+  if (type != 1 && type != 2) {
+    throw std::invalid_argument("replay events: unknown record type " +
+                                std::to_string(type));
+  }
+  record.decision_id = in.get_u64();
+  if (type == 1) {
+    record.type = serve::EventType::kDecision;
+    record.key = in.get_string();
+    record.action = static_cast<ArmId>(in.get_u32());
+    record.propensity = in.get_double();
+  } else {
+    record.type = serve::EventType::kFeedback;
+    record.reward = in.get_double();
+  }
+  return record;
+}
+
+/// Splits the record stream into encoded ReplayEvents payloads of roughly
+/// kChunkBytes each, preserving stream order across chunk boundaries.
+/// Layout: u32 chunk_index | u32 count | count records.
+std::vector<std::string> encode_event_chunks(
+    const std::vector<serve::EventRecord>& records) {
+  std::vector<std::string> chunks;
+  std::size_t at = 0;
+  while (at < records.size() || chunks.empty()) {
+    WireWriter body;
+    std::uint32_t count = 0;
+    WireWriter header;
+    // Records first (into `body`), then the final payload is assembled
+    // with the known count.
+    while (at < records.size()) {
+      encode_event_record(body, records[at]);
+      ++at;
+      ++count;
+      if (body.size() >= kChunkBytes) break;
+    }
+    header.put_u32(static_cast<std::uint32_t>(chunks.size()));
+    header.put_u32(count);
+    std::string payload = header.take();
+    payload += body.take();
+    chunks.push_back(std::move(payload));
+  }
+  return chunks;
+}
+
+std::vector<serve::EventRecord> decode_event_chunk(
+    const std::string& payload, std::uint32_t expected_index) {
+  WireReader in(payload);
+  const std::uint32_t index = in.get_u32();
+  if (index != expected_index) {
+    throw std::invalid_argument(
+        "replay events: chunk " + std::to_string(index) + " arrived where " +
+        std::to_string(expected_index) + " was expected");
+  }
+  const std::uint32_t count = in.get_u32();
+  std::vector<serve::EventRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    records.push_back(decode_event_record(in));
+  }
+  in.finish();
+  return records;
+}
+
+struct ReplayAssignMsg {
+  std::uint32_t index = 0;    ///< Candidate index in the panel order.
+  std::uint32_t attempt = 1;  ///< 1-based; > 1 means crash-requeued.
+  std::string spec;
+};
+
+std::string encode_replay_assign(const ReplayAssignMsg& msg) {
+  WireWriter out;
+  out.put_u32(msg.index);
+  out.put_u32(msg.attempt);
+  out.put_string(msg.spec);
+  return out.take();
+}
+
+ReplayAssignMsg decode_replay_assign(const std::string& payload) {
+  WireReader in(payload);
+  ReplayAssignMsg msg;
+  msg.index = in.get_u32();
+  msg.attempt = in.get_u32();
+  msg.spec = in.get_string();
+  in.finish();
+  return msg;
+}
+
+void put_stat(WireWriter& out, const RunningStat& stat) {
+  out.put_u64(stat.count());
+  out.put_double(stat.mean());
+  out.put_double(stat.m2());
+  out.put_double(stat.min());
+  out.put_double(stat.max());
+}
+
+RunningStat get_stat(WireReader& in) {
+  const std::uint64_t count = in.get_u64();
+  const double mean = in.get_double();
+  const double m2 = in.get_double();
+  const double min = in.get_double();
+  const double max = in.get_double();
+  return RunningStat::restore(static_cast<std::size_t>(count), mean, m2, min,
+                              max);
+}
+
+struct ReplayResultMsg {
+  std::uint32_t index = 0;
+  CandidateSummary summary;  ///< Raw state only; display fields unset.
+};
+
+std::string encode_replay_result(const ReplayResultMsg& msg) {
+  WireWriter out;
+  out.put_u32(msg.index);
+  out.put_string(msg.summary.spec);
+  out.put_string(msg.summary.description);
+  out.put_u64(msg.summary.decisions);
+  out.put_u64(msg.summary.matched);
+  put_stat(out, msg.summary.ips_stat);
+  put_stat(out, msg.summary.dr_stat);
+  out.put_double(msg.summary.weight_sum);
+  out.put_double(msg.summary.weight_sq_sum);
+  out.put_double(msg.summary.weighted_reward_sum);
+  out.put_double(msg.summary.max_weight);
+  return out.take();
+}
+
+ReplayResultMsg decode_replay_result(const std::string& payload) {
+  WireReader in(payload);
+  ReplayResultMsg msg;
+  msg.index = in.get_u32();
+  msg.summary.spec = in.get_string();
+  msg.summary.description = in.get_string();
+  msg.summary.decisions = in.get_u64();
+  msg.summary.matched = in.get_u64();
+  msg.summary.ips_stat = get_stat(in);
+  msg.summary.dr_stat = get_stat(in);
+  msg.summary.weight_sum = in.get_double();
+  msg.summary.weight_sq_sum = in.get_double();
+  msg.summary.weighted_reward_sum = in.get_double();
+  msg.summary.max_weight = in.get_double();
+  in.finish();
+  return msg;
+}
+
+/// See the crash-injection note in dispatch.hpp.
+void maybe_inject_crash(const ReplayAssignMsg& msg) {
+  const char* kill_spec = std::getenv("NCB_REPLAY_KILL_SPEC");
+  if (kill_spec != nullptr && msg.attempt == 1 && msg.spec == kill_spec) {
+    ::raise(SIGKILL);
+  }
+}
+
+}  // namespace
+
+int run_replay_worker(const ReplayWorkerOptions& options) {
+  ::signal(SIGINT, SIG_IGN);  // the coordinator owns interrupt handling
+
+  switch (dist::worker_handshake(options.fd, kReplayWireSchema,
+                                 options.threads, "ncb_replay worker")) {
+    case 0:
+      break;
+    case 1:
+      return 0;
+    default:
+      return 2;
+  }
+
+  // Phase 1: panel context, then the record stream, chunk by chunk in
+  // order. Everything score_candidate reads comes from these frames.
+  ReplayInitMsg init;
+  std::vector<serve::EventRecord> records;
+  try {
+    std::optional<Frame> frame = dist::read_frame(options.fd);
+    if (!frame || frame->type == MsgType::kShutdown) return 0;
+    if (frame->type != MsgType::kReplayInit) {
+      std::cerr << "ncb_replay worker: expected ReplayInit, got "
+                << dist::frame_type_name(frame->type) << '\n';
+      return 2;
+    }
+    init = decode_replay_init(frame->payload);
+    records.reserve(static_cast<std::size_t>(init.total_records));
+    for (std::uint32_t chunk = 0; chunk < init.chunks; ++chunk) {
+      frame = dist::read_frame(options.fd);
+      if (!frame) return 0;  // coordinator vanished — nothing was lost
+      if (frame->type != MsgType::kReplayEvents) {
+        std::cerr << "ncb_replay worker: expected ReplayEvents chunk "
+                  << chunk << ", got " << dist::frame_type_name(frame->type)
+                  << '\n';
+        return 2;
+      }
+      for (serve::EventRecord& record :
+           decode_event_chunk(frame->payload, chunk)) {
+        records.push_back(std::move(record));
+      }
+    }
+    if (records.size() != init.total_records) {
+      std::cerr << "ncb_replay worker: received " << records.size()
+                << " records, coordinator announced " << init.total_records
+                << '\n';
+      return 2;
+    }
+  } catch (const dist::PeerClosedError&) {
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "ncb_replay worker: stream setup failed: " << e.what()
+              << '\n';
+    return 2;
+  }
+
+  ExperimentConfig config;
+  config.graph_family = exp::parse_family(init.family);
+  config.num_arms = static_cast<std::size_t>(init.num_arms);
+  config.edge_probability = init.edge_probability;
+  config.family_param = static_cast<std::size_t>(init.family_param);
+  config.seed = init.graph_seed;
+  const Graph graph = build_graph(config);
+
+  ReplayOptions replay_options;
+  replay_options.epsilon = init.epsilon;
+  replay_options.seed = init.seed;
+  replay_options.horizon = static_cast<TimeSlot>(init.horizon);
+
+  // Phase 2: candidate loop.
+  while (true) {
+    std::optional<Frame> frame;
+    try {
+      frame = dist::read_frame(options.fd);
+    } catch (const std::exception& e) {
+      std::cerr << "ncb_replay worker: read failed: " << e.what() << '\n';
+      return 2;
+    }
+    if (!frame || frame->type == MsgType::kShutdown) return 0;
+    if (frame->type != MsgType::kReplayAssign) {
+      std::cerr << "ncb_replay worker: unexpected frame type "
+                << dist::frame_type_name(frame->type) << '\n';
+      return 2;
+    }
+
+    ReplayAssignMsg assign;
+    std::string error;
+    try {
+      assign = decode_replay_assign(frame->payload);
+      maybe_inject_crash(assign);
+
+      ReplayResultMsg result;
+      result.index = assign.index;
+      result.summary = score_candidate(graph, records, assign.spec,
+                                       replay_options, init.arm_model,
+                                       init.model_arm_average);
+      dist::write_frame(options.fd, MsgType::kReplayResult,
+                        encode_replay_result(result));
+      continue;
+    } catch (const dist::PeerClosedError&) {
+      return 0;  // coordinator gone; it will requeue the candidate
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+
+    // A candidate that cannot be scored (bad spec reaching this far, a
+    // policy that throws) is fatal for the whole panel — report it so the
+    // coordinator aborts with the real message.
+    try {
+      dist::WorkerErrorMsg report;
+      report.key = assign.spec;
+      report.message = error;
+      dist::write_frame(options.fd, MsgType::kWorkerError,
+                        dist::encode_worker_error(report));
+    } catch (const std::exception&) {
+      // Coordinator already gone; the exit code still says "error".
+    }
+    return 1;
+  }
+}
+
+DistPanelSummary run_distributed_panel(const Graph& graph,
+                                       const serve::EventLogScan& scan,
+                                       const std::vector<std::string>& specs,
+                                       const ReplayOptions& options,
+                                       const ReplayDispatchOptions& dispatch) {
+  if (dispatch.transport == nullptr) {
+    throw std::invalid_argument("run_distributed_panel: no transport");
+  }
+  if (dispatch.graph_config == nullptr) {
+    throw std::invalid_argument("run_distributed_panel: no graph config");
+  }
+  // Identical front-door validation to replay_panel.
+  if (!(options.epsilon >= 0.0 && options.epsilon <= 1.0)) {
+    throw std::invalid_argument("replay: epsilon must be in [0, 1]");
+  }
+  for (const std::string& spec : specs) {
+    PolicyRegistry::instance().check_single_play(spec);
+  }
+
+  DistPanelSummary summary;
+  summary.panel = panel_base(graph, scan);
+  if (specs.empty()) return summary;
+
+  // Pre-encode the per-worker setup once; every admitted (and readmitted)
+  // worker gets the same bytes.
+  ReplayInitMsg init;
+  init.epsilon = options.epsilon;
+  init.seed = options.seed;
+  init.horizon = options.horizon;
+  init.family = exp::family_token(dispatch.graph_config->graph_family);
+  init.num_arms = dispatch.graph_config->num_arms;
+  init.edge_probability = dispatch.graph_config->edge_probability;
+  init.family_param = dispatch.graph_config->family_param;
+  init.graph_seed = dispatch.graph_config->seed;
+  init.model_arm_average = summary.panel.model_arm_average;
+  init.arm_model = summary.panel.arm_model;
+  const std::vector<std::string> chunks = encode_event_chunks(scan.records);
+  init.chunks = static_cast<std::uint32_t>(chunks.size());
+  init.total_records = scan.records.size();
+  const std::string init_payload = encode_replay_init(init);
+
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < specs.size(); ++i) queue.push_back(i);
+  std::vector<std::size_t> attempts(specs.size(), 0);
+  std::vector<CandidateSummary> done(specs.size());
+  std::size_t completed = 0;
+
+  net::WorkerPool::Options pool_options;
+  pool_options.transport = dispatch.transport;
+  pool_options.expected_schema = kReplayWireSchema;
+  pool_options.admission_budget =
+      dispatch.transport->can_spawn() ? dispatch.workers + 2 : 32;
+
+  net::WorkerPool::Hooks hooks;
+  // Declared before the pool so the lambdas outlive it on every path.
+  auto assign_next = [&](net::WorkerPool& pool, net::PoolWorker& worker) {
+    if (worker.peer.fd < 0 || !worker.admitted || worker.user_tag >= 0 ||
+        worker.shutdown_sent) {
+      return;
+    }
+    if (queue.empty()) {
+      // Keep the worker idle while other candidates are in flight: a crash
+      // would requeue one, and this worker is where it would land. Only a
+      // fully drained run (nothing queued, nothing assigned) shuts it down.
+      bool anything_assigned = false;
+      for (const net::PoolWorker& other : pool.workers()) {
+        if (other.peer.fd >= 0 && other.user_tag >= 0) {
+          anything_assigned = true;
+          break;
+        }
+      }
+      if (!anything_assigned) pool.send_shutdown(worker);
+      return;
+    }
+    const std::size_t index = queue.front();
+    queue.pop_front();
+    worker.user_tag = static_cast<std::ptrdiff_t>(index);
+    ReplayAssignMsg assign;
+    assign.index = static_cast<std::uint32_t>(index);
+    assign.attempt = static_cast<std::uint32_t>(attempts[index] + 1);
+    assign.spec = specs[index];
+    pool.send(worker, MsgType::kReplayAssign, encode_replay_assign(assign));
+  };
+
+  net::WorkerPool pool(pool_options, net::WorkerPool::Hooks{});
+  // Hooks reference the pool, so they are installed after construction via
+  // the captured reference above; WorkerPool stores them by value.
+  hooks.on_admitted = [&](net::PoolWorker& worker) {
+    pool.send(worker, MsgType::kReplayInit, init_payload);
+    for (const std::string& chunk : chunks) {
+      if (worker.peer.fd < 0) return;
+      pool.send(worker, MsgType::kReplayEvents, chunk);
+    }
+    assign_next(pool, worker);
+  };
+  hooks.on_frame = [&](net::PoolWorker& worker, const Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kReplayResult: {
+        ReplayResultMsg result = decode_replay_result(frame.payload);
+        if (result.index >= specs.size() || worker.user_tag < 0 ||
+            static_cast<std::uint32_t>(worker.user_tag) != result.index ||
+            result.summary.spec != specs[result.index]) {
+          throw std::runtime_error(
+              "protocol violation: replay result for candidate " +
+              std::to_string(result.index) +
+              " does not match the worker's assignment");
+        }
+        worker.user_tag = -1;
+        ++worker.jobs_done;
+        done[result.index] = std::move(result.summary);
+        ++completed;
+        assign_next(pool, worker);
+        return;
+      }
+      case MsgType::kWorkerError: {
+        const dist::WorkerErrorMsg error =
+            dist::decode_worker_error(frame.payload);
+        throw std::runtime_error("replay worker failed on candidate '" +
+                                 error.key + "': " + error.message);
+      }
+      default:
+        throw std::runtime_error(
+            "protocol violation: unexpected frame type " +
+            dist::frame_type_label(static_cast<std::uint8_t>(frame.type)) +
+            " from a replay worker");
+    }
+  };
+  hooks.on_lost = [&](net::PoolWorker& worker) {
+    if (worker.user_tag < 0) return;
+    const std::size_t index = static_cast<std::size_t>(worker.user_tag);
+    ++attempts[index];
+    if (attempts[index] >= dispatch.max_attempts) {
+      throw std::runtime_error("candidate '" + specs[index] +
+                               "' crashed its worker " +
+                               std::to_string(attempts[index]) +
+                               " times — aborting");
+    }
+    // Requeue at the front: the retry recomputes the candidate from the
+    // same shipped stream, so the assembled panel does not depend on the
+    // crash at all.
+    queue.push_front(index);
+    ++summary.requeues;
+  };
+  pool.set_hooks(std::move(hooks));
+
+  if (pool.can_spawn()) {
+    pool.spawn(std::max<std::size_t>(
+        1, std::min(dispatch.workers, specs.size())));
+  }
+
+  auto in_flight = [&] {
+    std::size_t n = 0;
+    for (const net::PoolWorker& worker : pool.workers()) {
+      if (worker.peer.fd >= 0 && worker.user_tag >= 0) ++n;
+    }
+    return n;
+  };
+
+  while (pool.live() > 0 || !queue.empty() || in_flight() > 0) {
+    pool.poll_once(200);
+    if (pool.can_spawn()) {
+      const std::size_t wanted =
+          std::min(dispatch.workers, queue.size() + in_flight());
+      while (pool.live() < wanted) pool.spawn(1);
+    }
+    // A requeue or a late admission may leave queued candidates next to
+    // idle workers — hand them out every turn, and drain the fleet once
+    // nothing is queued or in flight.
+    for (net::PoolWorker& worker : pool.workers()) assign_next(pool, worker);
+  }
+  if (completed != specs.size()) {
+    throw std::runtime_error("distributed replay drained with " +
+                             std::to_string(specs.size() - completed) +
+                             " candidates unscored");
+  }
+
+  // Exact reduction: merge each worker's raw Welford state into an empty
+  // accumulator (a bitwise copy — candidates arrive whole, so the merge's
+  // exact-copy branch is the one taken), then derive the display figures
+  // through the same finalize_candidate the local panel uses.
+  summary.panel.candidates.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    CandidateSummary candidate = std::move(done[i]);
+    RunningStat ips;
+    ips.merge(candidate.ips_stat);
+    candidate.ips_stat = ips;
+    RunningStat dr;
+    dr.merge(candidate.dr_stat);
+    candidate.dr_stat = dr;
+    finalize_candidate(candidate);
+    summary.panel.candidates.push_back(std::move(candidate));
+  }
+  summary.workers = pool.summaries();
+  return summary;
+}
+
+}  // namespace ncb::replay

@@ -106,6 +106,12 @@ class EstimatorAccumulator {
                                 : 0.0;
   }
   [[nodiscard]] double weight_sum() const noexcept { return weight_sum_; }
+  [[nodiscard]] double weight_sq_sum() const noexcept {
+    return weight_sq_sum_;
+  }
+  [[nodiscard]] double weighted_reward_sum() const noexcept {
+    return weighted_reward_sum_;
+  }
   [[nodiscard]] double max_weight() const noexcept { return max_weight_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/policy_registry.hpp"
 #include "serve/decision_engine.hpp"
@@ -111,19 +112,10 @@ class CandidateReplayer {
 
 }  // namespace
 
-PanelResult replay_panel(const Graph& graph, const serve::EventLogScan& scan,
-                         const std::vector<std::string>& specs,
-                         const ReplayOptions& options) {
+PanelResult panel_base(const Graph& graph, const serve::EventLogScan& scan) {
   const std::size_t num_arms = graph.num_vertices();
   if (num_arms == 0) {
     throw std::invalid_argument("replay: empty graph");
-  }
-  if (!(options.epsilon >= 0.0 && options.epsilon <= 1.0)) {
-    throw std::invalid_argument("replay: epsilon must be in [0, 1]");
-  }
-  // Reject every bad spec before touching the (possibly huge) log.
-  for (const std::string& spec : specs) {
-    PolicyRegistry::instance().check_single_play(spec);
   }
 
   PanelResult result;
@@ -131,7 +123,7 @@ PanelResult replay_panel(const Graph& graph, const serve::EventLogScan& scan,
   result.feedbacks = scan.feedbacks;
   result.truncated_tail = scan.truncated_tail;
 
-  // Pass 1: join, DR baseline model, and the log's own reward statistics.
+  // Join, DR baseline model, and join diagnostics.
   const serve::EventLogJoin join = serve::join_event_log(scan);
   result.joined = join.joined;
   result.orphan_feedbacks = join.orphan_feedbacks;
@@ -153,39 +145,53 @@ PanelResult replay_panel(const Graph& graph, const serve::EventLogScan& scan,
   }
   result.model_arm_average = model.arm_average();
 
-  // Pass 2: all candidates in lockstep through the raw record stream, plus
-  // the empirical accumulator on the identical feedback-order sequence.
-  struct Candidate {
-    CandidateReplayer replayer;
-    EstimatorAccumulator accumulator;
-    std::uint64_t decisions = 0;
-    std::uint64_t matched = 0;
-    /// Direct term E_q[m] at decision time, keyed by decision_id.
-    std::unordered_map<std::uint64_t, double> direct;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(specs.size());
-  for (const std::string& spec : specs) {
-    candidates.push_back(Candidate{{graph, spec, options}, {}, 0, 0, {}});
-  }
+  // The log's own reward statistics, accumulated over joined feedbacks in
+  // stream order — the exact sequence every candidate's IPS accumulator
+  // sees, so the logging-policy identity holds bitwise. The open-set
+  // membership test mirrors the keep-first emplace/erase the candidate
+  // pass performs, so "joined" means the same events here and there.
   RunningStat empirical;
-  /// Logged propensity of each not-yet-joined decision (shared across the
-  /// panel; consumed at the joining feedback record).
-  std::unordered_map<std::uint64_t, double> logged_propensity;
-
-  const double uniform_direct = options.epsilon * result.model_arm_average;
+  std::unordered_set<std::uint64_t> open;
   for (const serve::EventRecord& record : scan.records) {
     if (record.type == serve::EventType::kDecision) {
+      open.insert(record.decision_id);
+    } else if (open.erase(record.decision_id) != 0) {
+      empirical.add(record.reward);
+    }
+  }
+  result.empirical_mean = empirical.mean();
+  result.empirical_variance = empirical.variance();
+  result.empirical_se = empirical.stderr_mean();
+  return result;
+}
+
+CandidateSummary score_candidate(const Graph& graph,
+                                 const std::vector<serve::EventRecord>& records,
+                                 const std::string& spec,
+                                 const ReplayOptions& options,
+                                 const std::vector<double>& arm_model,
+                                 double model_arm_average) {
+  CandidateReplayer replayer(graph, spec, options);
+  EstimatorAccumulator accumulator;
+  CandidateSummary summary;
+  summary.spec = spec;
+  summary.description = replayer.description();
+
+  /// Direct term E_q[m] at decision time, keyed by decision_id.
+  std::unordered_map<std::uint64_t, double> direct;
+  /// Logged propensity of each not-yet-joined decision.
+  std::unordered_map<std::uint64_t, double> logged_propensity;
+
+  const double uniform_direct = options.epsilon * model_arm_average;
+  for (const serve::EventRecord& record : records) {
+    if (record.type == serve::EventType::kDecision) {
       logged_propensity.emplace(record.decision_id, record.propensity);
-      for (Candidate& candidate : candidates) {
-        const CandidateReplayer::Step step =
-            candidate.replayer.on_decision(record);
-        ++candidate.decisions;
-        candidate.direct.emplace(
-            record.decision_id,
-            uniform_direct +
-                (1.0 - options.epsilon) * model.value(step.greedy));
-      }
+      const CandidateReplayer::Step step = replayer.on_decision(record);
+      ++summary.decisions;
+      direct.emplace(record.decision_id,
+                     uniform_direct + (1.0 - options.epsilon) *
+                                          arm_model[static_cast<std::size_t>(
+                                              step.greedy)]);
     } else {
       const auto propensity_it = logged_propensity.find(record.decision_id);
       if (propensity_it == logged_propensity.end()) {
@@ -193,43 +199,63 @@ PanelResult replay_panel(const Graph& graph, const serve::EventLogScan& scan,
       }
       const double propensity = propensity_it->second;
       logged_propensity.erase(propensity_it);
-      for (Candidate& candidate : candidates) {
-        CandidateReplayer::Joined joined;
-        if (!candidate.replayer.on_feedback(record, joined)) continue;
-        const auto direct_it = candidate.direct.find(record.decision_id);
-        const double direct = direct_it->second;
-        candidate.direct.erase(direct_it);
-        const double weight = joined.q / propensity;
-        candidate.accumulator.add(weight, record.reward, direct,
-                                  model.value(joined.action));
-        if (joined.matched) ++candidate.matched;
-      }
-      empirical.add(record.reward);
+      CandidateReplayer::Joined joined;
+      if (!replayer.on_feedback(record, joined)) continue;
+      const auto direct_it = direct.find(record.decision_id);
+      const double direct_term = direct_it->second;
+      direct.erase(direct_it);
+      const double weight = joined.q / propensity;
+      accumulator.add(
+          weight, record.reward, direct_term,
+          arm_model[static_cast<std::size_t>(joined.action)]);
+      if (joined.matched) ++summary.matched;
     }
   }
 
-  result.empirical_mean = empirical.mean();
-  result.empirical_variance = empirical.variance();
-  result.empirical_se = empirical.stderr_mean();
+  summary.ips_stat = accumulator.ips();
+  summary.dr_stat = accumulator.dr();
+  summary.weight_sum = accumulator.weight_sum();
+  summary.weight_sq_sum = accumulator.weight_sq_sum();
+  summary.weighted_reward_sum = accumulator.weighted_reward_sum();
+  summary.max_weight = accumulator.max_weight();
+  return summary;
+}
 
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Candidate& candidate = candidates[i];
-    CandidateSummary summary;
-    summary.spec = specs[i];
-    summary.description = candidate.replayer.description();
-    summary.decisions = candidate.decisions;
-    summary.events = candidate.accumulator.events();
-    summary.matched = candidate.matched;
-    summary.ips_mean = candidate.accumulator.ips().mean();
-    summary.ips_variance = candidate.accumulator.ips().variance();
-    summary.ips_se = candidate.accumulator.ips().stderr_mean();
-    summary.snips = candidate.accumulator.snips();
-    summary.dr_mean = candidate.accumulator.dr().mean();
-    summary.dr_variance = candidate.accumulator.dr().variance();
-    summary.dr_se = candidate.accumulator.dr().stderr_mean();
-    summary.ess = candidate.accumulator.ess();
-    summary.weight_sum = candidate.accumulator.weight_sum();
-    summary.max_weight = candidate.accumulator.max_weight();
+void finalize_candidate(CandidateSummary& summary) {
+  summary.events = summary.ips_stat.count();
+  summary.ips_mean = summary.ips_stat.mean();
+  summary.ips_variance = summary.ips_stat.variance();
+  summary.ips_se = summary.ips_stat.stderr_mean();
+  summary.dr_mean = summary.dr_stat.mean();
+  summary.dr_variance = summary.dr_stat.variance();
+  summary.dr_se = summary.dr_stat.stderr_mean();
+  summary.snips = summary.weight_sum > 0.0
+                      ? summary.weighted_reward_sum / summary.weight_sum
+                      : 0.0;
+  summary.ess = summary.weight_sq_sum > 0.0
+                    ? summary.weight_sum * summary.weight_sum /
+                          summary.weight_sq_sum
+                    : 0.0;
+}
+
+PanelResult replay_panel(const Graph& graph, const serve::EventLogScan& scan,
+                         const std::vector<std::string>& specs,
+                         const ReplayOptions& options) {
+  if (!(options.epsilon >= 0.0 && options.epsilon <= 1.0)) {
+    throw std::invalid_argument("replay: epsilon must be in [0, 1]");
+  }
+  // Reject every bad spec before touching the (possibly huge) log.
+  for (const std::string& spec : specs) {
+    PolicyRegistry::instance().check_single_play(spec);
+  }
+
+  PanelResult result = panel_base(graph, scan);
+  result.candidates.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    CandidateSummary summary =
+        score_candidate(graph, scan.records, spec, options, result.arm_model,
+                        result.model_arm_average);
+    finalize_candidate(summary);
     result.candidates.push_back(std::move(summary));
   }
   return result;

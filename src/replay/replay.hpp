@@ -9,7 +9,9 @@
 //   pass 1  join decisions to rewards (serve::join_event_log), fit the
 //           per-arm empirical-mean reward model (the DR baseline), and
 //           accumulate the logging policy's own empirical reward stats;
-//   pass 2  drive every candidate through the stream in lockstep. Each
+//   pass 2  drive each candidate through the stream independently (the
+//           candidates never interact, which is also what lets a
+//           distributed panel assign candidates to workers). Each
 //           candidate is a registry-built policy wrapped in the exact
 //           decide()/report() semantics of serve::DecisionEngine — the
 //           same policy clock, the same per-key counter-based exploration
@@ -47,7 +49,10 @@ struct ReplayOptions {
   TimeSlot horizon = 0;
 };
 
-/// One candidate's panel entry.
+/// One candidate's panel entry. Carries both the raw accumulator state
+/// (the Welford stats and weight sums — what a distributed replay worker
+/// ships over the wire) and the display estimates finalize_candidate()
+/// derives from it, so local and sharded panels go through one code path.
 struct CandidateSummary {
   std::string spec;         ///< Registry spec string, e.g. "ucb1".
   std::string description;  ///< Built policy's describe().
@@ -56,6 +61,14 @@ struct CandidateSummary {
   /// Events where the candidate's own sampled action (policy greedy +
   /// per-key exploration draw) equals the logged action.
   std::uint64_t matched = 0;
+  // Raw state (exact; wire-transportable).
+  RunningStat ips_stat;  ///< Per-event IPS terms w*r.
+  RunningStat dr_stat;   ///< Per-event DR terms.
+  double weight_sum = 0.0;
+  double weight_sq_sum = 0.0;
+  double weighted_reward_sum = 0.0;
+  double max_weight = 0.0;
+  // Display estimates, derived by finalize_candidate().
   double ips_mean = 0.0;
   double ips_variance = 0.0;  ///< Sample variance of the per-event terms.
   double ips_se = 0.0;        ///< Standard error of ips_mean.
@@ -63,9 +76,7 @@ struct CandidateSummary {
   double dr_mean = 0.0;
   double dr_variance = 0.0;
   double dr_se = 0.0;
-  double ess = 0.0;         ///< Kish effective sample size.
-  double weight_sum = 0.0;
-  double max_weight = 0.0;
+  double ess = 0.0;  ///< Kish effective sample size.
 };
 
 /// Whole-panel result: log/join diagnostics, the logging policy's own
@@ -102,5 +113,34 @@ struct PanelResult {
                                        const serve::EventLogScan& scan,
                                        const std::vector<std::string>& specs,
                                        const ReplayOptions& options);
+
+// The pieces replay_panel is made of, exposed for the distributed replay
+// coordinator/worker (replay/dispatch.hpp): pass 1 runs once on the
+// coordinator, score_candidate runs per candidate wherever that candidate
+// was assigned, and finalize_candidate derives the display estimates from
+// raw accumulator state — the one code path shared by local and sharded
+// panels, which is what makes the sharded panel byte-identical.
+
+/// Pass 1 alone: join diagnostics, the DR baseline model, and the log's
+/// own empirical reward statistics — a PanelResult with no candidates.
+/// Throws std::invalid_argument on an empty graph, an out-of-range logged
+/// action, or a non-positive logged propensity.
+[[nodiscard]] PanelResult panel_base(const Graph& graph,
+                                     const serve::EventLogScan& scan);
+
+/// Drives one candidate spec through the raw record stream and returns its
+/// summary with the raw accumulator state filled in (display estimates
+/// still zero — call finalize_candidate). `arm_model` and
+/// `model_arm_average` are pass-1 outputs (PanelResult::arm_model /
+/// model_arm_average). The arithmetic is operation-for-operation the one
+/// the lockstep panel performs for that candidate, so the result is
+/// bitwise identical wherever it runs.
+[[nodiscard]] CandidateSummary score_candidate(
+    const Graph& graph, const std::vector<serve::EventRecord>& records,
+    const std::string& spec, const ReplayOptions& options,
+    const std::vector<double>& arm_model, double model_arm_average);
+
+/// Derives events/ips_*/snips/dr_*/ess from the summary's raw state.
+void finalize_candidate(CandidateSummary& summary);
 
 }  // namespace ncb::replay

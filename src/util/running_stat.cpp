@@ -51,6 +51,17 @@ void RunningStat::merge(const RunningStat& other) noexcept {
   if (other.max_ > max_) max_ = other.max_;
 }
 
+RunningStat RunningStat::restore(std::size_t count, double mean, double m2,
+                                 double min, double max) noexcept {
+  RunningStat stat;
+  stat.count_ = count;
+  stat.mean_ = mean;
+  stat.m2_ = m2;
+  stat.min_ = min;
+  stat.max_ = max;
+  return stat;
+}
+
 void SeriesStat::add_series(const std::vector<double>& series) {
   if (stats_.empty()) stats_.resize(series.size());
   if (series.size() != stats_.size()) {

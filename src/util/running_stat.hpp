@@ -22,9 +22,21 @@ class RunningStat {
   [[nodiscard]] double ci95_halfwidth() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
+  /// Raw Welford second-moment sum — with count/mean/min/max, the complete
+  /// internal state (what restore() accepts back).
+  [[nodiscard]] double m2() const noexcept { return m2_; }
 
-  /// Merges another accumulator into this one (parallel reduction).
+  /// Merges another accumulator into this one (parallel reduction). Merging
+  /// into an empty accumulator is a bitwise copy of `other`, which is what
+  /// lets a distributed reduction ship Welford state over the wire and
+  /// reassemble it exactly.
   void merge(const RunningStat& other) noexcept;
+
+  /// Rebuilds an accumulator from its exact internal state — the inverse of
+  /// the count()/mean()/m2()/min()/max() accessors, for wire transport.
+  [[nodiscard]] static RunningStat restore(std::size_t count, double mean,
+                                           double m2, double min,
+                                           double max) noexcept;
 
  private:
   std::size_t count_ = 0;

@@ -332,7 +332,8 @@ struct WorkerHarness {
     if (thread.joinable()) thread.join();
   }
 
-  /// Completes the coordinator side of the handshake.
+  /// Completes the coordinator side of the handshake: Hello, then the
+  /// WorkerInfo identity frame, then the ack that admits the worker.
   void accept() {
     const auto hello = read_frame(coordinator_fd);
     ASSERT_TRUE(hello.has_value());
@@ -341,6 +342,13 @@ struct WorkerHarness {
     ASSERT_FALSE(validate_hello(
                      msg, static_cast<std::uint32_t>(exp::kSweepSchemaVersion))
                      .has_value());
+    const auto info = read_frame(coordinator_fd);
+    ASSERT_TRUE(info.has_value());
+    ASSERT_EQ(info->type, MsgType::kWorkerInfo);
+    const WorkerInfoMsg identity = decode_worker_info(info->payload);
+    EXPECT_FALSE(identity.host.empty());
+    EXPECT_GT(identity.pid, 0u);
+    EXPECT_GT(identity.threads, 0u);
     write_frame(coordinator_fd, MsgType::kHelloAck, encode_hello_ack());
   }
 

@@ -75,6 +75,29 @@ TEST(RunningStat, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStat, RestoreMergeIsExact) {
+  // The distributed-replay wire contract: shipping the raw Welford state
+  // (count, mean, m2, min, max) and merging it into an empty accumulator
+  // must reproduce the original bitwise — the exact-copy branch of merge.
+  Xoshiro256 rng(20170605);
+  RunningStat original;
+  for (int i = 0; i < 777; ++i) original.add(rng.gaussian(0.3, 1.7));
+
+  const RunningStat restored =
+      RunningStat::restore(original.count(), original.mean(), original.m2(),
+                           original.min(), original.max());
+  RunningStat merged;
+  merged.merge(restored);
+
+  EXPECT_EQ(merged.count(), original.count());
+  EXPECT_EQ(merged.mean(), original.mean());  // bitwise, not NEAR
+  EXPECT_EQ(merged.m2(), original.m2());
+  EXPECT_EQ(merged.min(), original.min());
+  EXPECT_EQ(merged.max(), original.max());
+  EXPECT_EQ(merged.variance(), original.variance());
+  EXPECT_EQ(merged.stderr_mean(), original.stderr_mean());
+}
+
 TEST(SeriesStat, AggregatesPerIndex) {
   SeriesStat s;
   s.add_series({1.0, 2.0, 3.0});

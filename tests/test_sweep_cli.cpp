@@ -79,9 +79,10 @@ using EnvVars = std::vector<std::pair<std::string, std::string>>;
 
 /// fork/exec of the real binary; stdout goes to `stdout_path` (or
 /// /dev/null when empty — the progress stream is usually not under test),
-/// stderr stays visible for debugging.
+/// stderr to `stderr_path` (or stays visible for debugging when empty).
 pid_t spawn_sweep(const std::vector<std::string>& args, const EnvVars& env,
-                  const std::string& stdout_path = "") {
+                  const std::string& stdout_path = "",
+                  const std::string& stderr_path = "") {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   for (const auto& [key, value] : env) {
@@ -93,6 +94,14 @@ pid_t spawn_sweep(const std::vector<std::string>& args, const EnvVars& env,
   if (out >= 0) {
     ::dup2(out, STDOUT_FILENO);
     ::close(out);
+  }
+  if (!stderr_path.empty()) {
+    const int err =
+        ::open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (err >= 0) {
+      ::dup2(err, STDERR_FILENO);
+      ::close(err);
+    }
   }
   std::vector<std::string> full;
   full.push_back(kSweepBin);
@@ -116,8 +125,9 @@ int wait_exit(pid_t pid) {
 }
 
 int run_sweep(const std::vector<std::string>& args, const EnvVars& env = {},
-              const std::string& stdout_path = "") {
-  return wait_exit(spawn_sweep(args, env, stdout_path));
+              const std::string& stdout_path = "",
+              const std::string& stderr_path = "") {
+  return wait_exit(spawn_sweep(args, env, stdout_path, stderr_path));
 }
 
 /// The fast 4-job grid (2 policies × 2 horizons) used by most tests.
@@ -164,6 +174,36 @@ TEST(SweepCli, RejectsNegativeWorkerCount) {
   const std::string spec = dir.file("tiny.spec");
   write_text(spec, tiny_spec());
   EXPECT_EQ(run_sweep({"--spec", spec, "--workers", "-2"}), 2);
+}
+
+TEST(SweepCli, DistributedFlagRejectionsAreFieldNamed) {
+  REQUIRE_BINARY();
+  TempDir dir;
+  const std::string spec = dir.file("tiny.spec");
+  write_text(spec, tiny_spec());
+
+  struct Case {
+    std::vector<std::string> extra;
+    std::string expect;  ///< must appear in stderr
+  };
+  const std::vector<Case> cases = {
+      {{"--threads", "-1"}, "--threads"},
+      {{"--workers", "-2"}, "--workers"},
+      {{"--listen", "no-colon"}, "--listen"},
+      {{"--listen", ":9000"}, "--listen"},
+      {{"--listen", "127.0.0.1:99999"}, "--listen"},
+      {{"--listen", "127.0.0.1:0", "--workers", "2"}, "mutually exclusive"},
+      {{"--port-file", dir.file("p.port")}, "--port-file requires --listen"},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::string> args = {"--spec", spec, "--out",
+                                     dir.file("out.json")};
+    args.insert(args.end(), c.extra.begin(), c.extra.end());
+    const std::string err = dir.file("stderr.txt");
+    EXPECT_EQ(run_sweep(args, {}, "", err), 2) << c.expect;
+    EXPECT_NE(read_text(err).find(c.expect), std::string::npos)
+        << "stderr for " << c.expect << " was: " << read_text(err);
+  }
 }
 
 TEST(SweepCli, WorkersProduceByteIdenticalOutput) {
@@ -246,6 +286,76 @@ TEST(SweepCli, Fig3FourWorkersWithWorkerKillIsByteIdentical) {
             0);
   EXPECT_NE(read_text(log).find("requeued 1 assignments"), std::string::npos)
       << "crash injection never fired for the fig3 key";
+  EXPECT_EQ(read_text(out), read_text(reference));
+}
+
+/// Starts a --listen coordinator, waits for its --port-file, connects
+/// `workers` --worker-connect processes (each with `worker_env`), and
+/// waits for all of them. Returns the coordinator's exit code.
+int run_tcp_sweep(const TempDir& dir, const std::string& spec,
+                  const std::string& out, const std::string& stdout_path,
+                  std::size_t workers, const EnvVars& worker_env) {
+  const std::string port_file = out + ".port";
+  const pid_t coordinator =
+      spawn_sweep({"--spec", spec, "--out", out, "--listen", "127.0.0.1:0",
+                   "--port-file", port_file},
+                  {}, stdout_path);
+  EXPECT_GT(coordinator, 0);
+
+  std::string advertised;
+  for (int i = 0; i < 2000 && advertised.empty(); ++i) {
+    advertised = read_text(port_file);
+    if (advertised.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_FALSE(advertised.empty()) << "coordinator never wrote --port-file";
+  while (!advertised.empty() && advertised.back() == '\n') {
+    advertised.pop_back();
+  }
+
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < workers; ++i) {
+    pids.push_back(spawn_sweep({"--worker-connect", advertised}, worker_env));
+  }
+  const int code = wait_exit(coordinator);
+  for (const pid_t pid : pids) (void)wait_exit(pid);  // 137 when SIGKILLed
+  (void)dir;
+  return code;
+}
+
+TEST(SweepCli, TcpWorkersProduceByteIdenticalOutput) {
+  REQUIRE_BINARY();
+  TempDir dir;
+  const std::string spec = dir.file("tiny.spec");
+  write_text(spec, tiny_spec());
+  const std::string reference = dir.file("ref.json");
+  ASSERT_EQ(run_sweep({"--spec", spec, "--out", reference}), 0);
+
+  const std::string out = dir.file("tcp.json");
+  ASSERT_EQ(run_tcp_sweep(dir, spec, out, dir.file("tcp.log"), 2, {}), 0);
+  EXPECT_EQ(read_text(out), read_text(reference));
+}
+
+TEST(SweepCli, TcpWorkerKilledMidSweepRequeuesWithIdenticalBytes) {
+  REQUIRE_BINARY();
+  TempDir dir;
+  const std::string spec = dir.file("tiny.spec");
+  write_text(spec, tiny_spec());
+  const std::string reference = dir.file("ref.json");
+  ASSERT_EQ(run_sweep({"--spec", spec, "--out", reference}), 0);
+
+  // Both TCP workers carry the kill key, but the injection fires only on
+  // attempt 1 — exactly one dies, and the requeued attempt (attempt 2, on
+  // whichever worker is left) must reproduce the reference bytes.
+  const std::string out = dir.file("tcp_killed.json");
+  const std::string log = dir.file("tcp_killed.log");
+  ASSERT_EQ(run_tcp_sweep(
+                dir, spec, out, log, 2,
+                {{"NCB_DIST_KILL_KEY", "sso:dfl-sso@er,K=30,p=0.3,n=200"}}),
+            0);
+  EXPECT_NE(read_text(log).find("requeued 1 assignments"), std::string::npos)
+      << "crash injection never fired over TCP";
   EXPECT_EQ(read_text(out), read_text(reference));
 }
 
