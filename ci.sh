@@ -9,7 +9,9 @@
 #                             localhost-TCP workers), serve smoke (real server
 #                             + driver + SIGTERM drain), replay smoke (offline
 #                             panel over the serve log + logging-identity pin
-#                             + sharded 2-worker panel).
+#                             + sharded 2-worker panel), metrics identity
+#                             (event logs and decision dumps byte-identical
+#                             with metrics enabled, polled, and compiled out).
 #        ./ci.sh asan       — ASan/UBSan build + test suite only. The release
 #                             and asan lanes are disjoint so CI runs them as
 #                             parallel jobs; the no-argument form is their
@@ -147,10 +149,11 @@ EOF
 # through the actual binaries on every CI run.
 serve_smoke() {
   local sock=build/serve_smoke.sock log=build/serve_smoke.ncbl server_pid
-  rm -f "$sock" "$log"
+  rm -f "$sock" "$log" build/serve_smoke_metrics.json
   ./build/examples/ncb_serve --socket "$sock" --policy 'eps-greedy:eps=0' \
       --epsilon 0.1 --arms 200 --graph er --edge-prob 0.1 --seed 7 \
-      --log "$log" > build/serve_smoke.out 2>&1 &
+      --log "$log" --metrics-out build/serve_smoke_metrics.json \
+      --metrics-interval-ms 50 > build/serve_smoke.out 2>&1 &
   server_pid=$!
   for _ in $(seq 1 200); do [ -S "$sock" ] && break; sleep 0.05; done
   if ! ./build/examples/ncb_serve_driver --socket "$sock" --requests 10000 \
@@ -161,13 +164,68 @@ serve_smoke() {
     cat build/serve_smoke.out >&2
     return 1
   fi
+  # Live stats poll against the still-running server: the counter the
+  # driver just drove must be visible over the StatsRequest frame.
+  ./build/examples/ncb_stats --socket "$sock" --raw \
+      | tee build/serve_smoke.stats
+  grep -q '^serve\.decide\.requests 10000$' build/serve_smoke.stats
+  grep -q '^serve\.engine\.feedbacks 10000$' build/serve_smoke.stats
   kill -TERM "$server_pid"
   wait "$server_pid"  # non-zero exit (or a crash) fails the stage
+  # The periodic snapshotter must have left a final JSON snapshot behind.
+  grep -q '"schema": 1' build/serve_smoke_metrics.json
+  grep -q '"serve.decide.requests": 10000' build/serve_smoke_metrics.json
   ./build/examples/ncb_serve --inspect-log "$log" \
       | tee build/serve_smoke.inspect
   grep -q 'records=20000 decisions=10000 feedbacks=10000 joined=10000' \
       build/serve_smoke.inspect
-  echo "serve smoke: 10k decisions / 2 connections, 10000/10000 joined, clean SIGTERM drain"
+  grep -q '"duplicate_feedbacks": 0' build/serve_smoke.inspect
+  echo "serve smoke: 10k decisions / 2 connections, 10000/10000 joined, live stats polled, clean SIGTERM drain"
+}
+
+# Metrics must observe, never steer: one lockstep workload against (a) a
+# metrics-enabled server, (b) the same server hammered by ncb_stats --watch
+# mid-run, and (c) an NCB_NO_METRICS cross-build. Event logs and decision
+# dumps must be byte-identical across all three.
+metrics_identity() {
+  cmake -B build-nometrics -S . -DNCB_WERROR=ON -DNCB_NO_METRICS=ON \
+        -DNCB_BUILD_TESTS=OFF -DNCB_BUILD_BENCH=OFF > /dev/null
+  cmake --build build-nometrics -j "$JOBS" --target ncb_serve > /dev/null
+  local variant sock log dump server server_pid watcher_pid
+  for variant in on polled nometrics; do
+    sock="build/metrics_${variant}.sock"
+    log="build/metrics_${variant}.ncbl"
+    dump="build/metrics_${variant}.dump"
+    rm -f "$sock" "$log" "$dump"
+    server=./build/examples/ncb_serve
+    [ "$variant" = nometrics ] && server=./build-nometrics/examples/ncb_serve
+    "$server" --socket "$sock" --policy 'eps-greedy:eps=0' \
+        --epsilon 0.1 --arms 200 --graph er --edge-prob 0.1 --seed 7 \
+        --log "$log" --metrics-out "build/metrics_${variant}.json" \
+        > "build/metrics_${variant}.out" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 200); do [ -S "$sock" ] && break; sleep 0.05; done
+    watcher_pid=""
+    if [ "$variant" = polled ]; then
+      ./build/examples/ncb_stats --socket "$sock" --watch --interval-ms 5 \
+          > /dev/null 2>&1 &
+      watcher_pid=$!
+    fi
+    ./build/examples/ncb_serve_driver --socket "$sock" --requests 2000 \
+        --connections 2 --keys 64 --arms 200 --graph er --edge-prob 0.1 \
+        --seed 7 --lockstep --dump "$dump" > /dev/null
+    if [ -n "$watcher_pid" ]; then
+      kill -TERM "$watcher_pid" 2>/dev/null || true
+      wait "$watcher_pid" || true
+    fi
+    kill -TERM "$server_pid"
+    wait "$server_pid"
+  done
+  cmp build/metrics_on.ncbl build/metrics_polled.ncbl
+  cmp build/metrics_on.ncbl build/metrics_nometrics.ncbl
+  cmp build/metrics_on.dump build/metrics_polled.dump
+  cmp build/metrics_on.dump build/metrics_nometrics.dump
+  echo "metrics identity: logs + dumps byte-identical (enabled / polled / NCB_NO_METRICS)"
 }
 
 # Replay smoke: the offline evaluator prices a candidate panel on the log
@@ -356,6 +414,15 @@ bench_serve() {
   else
     rm -f build/bench_serve_baseline.json
   fi
+  # Metrics-overhead microbench: per-event instrument costs ride along in
+  # BENCH_serve.json next to the end-to-end QPS, under the same 1.5x guard.
+  if [ -x build/bench/obs_overhead ]; then
+    ./build/bench/obs_overhead --benchmark_out=build/obs_overhead.json \
+        --benchmark_out_format=json \
+        --benchmark_min_time="${NCB_BENCH_MIN_TIME:-0.05}"
+  else
+    rm -f build/obs_overhead.json
+  fi
   python3 - <<'PY'
 import json
 import os
@@ -365,24 +432,47 @@ THRESHOLD = 1.5
 
 with open("build/bench_serve_run.json") as f:
     run = json.load(f)
+payload = {"schema": 1, "serve": run}
+if os.path.exists("build/obs_overhead.json"):
+    with open("build/obs_overhead.json") as f:
+        obs = json.load(f)
+    payload["obs"] = {b["name"]: round(b["real_time"], 2)
+                      for b in obs["benchmarks"]}
 with open("BENCH_serve.json", "w") as f:
-    json.dump({"schema": 1, "serve": run}, f, indent=1)
+    json.dump(payload, f, indent=1)
     f.write("\n")
 print(f"wrote BENCH_serve.json: {run['qps']:.0f} qps, "
       f"p50={run['p50_us']} us p99={run['p99_us']} us "
-      f"p999={run['p999_us']} us")
+      f"p999={run['p999_us']} us"
+      + (f", {len(payload.get('obs', {}))} obs microbenches"
+         if "obs" in payload else ""))
 
 if not os.path.exists("build/bench_serve_baseline.json"):
     print("serve bench guard: no committed BENCH_serve.json baseline — skipped")
     sys.exit(0)
 with open("build/bench_serve_baseline.json") as f:
-    base = json.load(f)["serve"]
+    base_all = json.load(f)
+base = base_all["serve"]
 ratio = base["qps"] / run["qps"] if run["qps"] > 0 else float("inf")
 print(f"serve bench guard: qps {base['qps']:.0f} -> {run['qps']:.0f} "
       f"({ratio:.2f}x slower)" if ratio > 1 else
       f"serve bench guard: qps {base['qps']:.0f} -> {run['qps']:.0f} (faster)")
 if ratio > THRESHOLD:
     print(f"serve bench guard: throughput regressed beyond {THRESHOLD}x")
+    sys.exit(1)
+
+worst_name, worst = "", 0.0
+for name, base_ns in base_all.get("obs", {}).items():
+    ns = payload.get("obs", {}).get(name)
+    if ns is None or base_ns <= 0:
+        continue
+    obs_ratio = ns / base_ns
+    print(f"obs bench guard: {name} {base_ns:.1f} -> {ns:.1f} ns "
+          f"({obs_ratio:.2f}x)")
+    if obs_ratio > worst:
+        worst_name, worst = name, obs_ratio
+if worst > THRESHOLD:
+    print(f"obs bench guard: {worst_name} regressed beyond {THRESHOLD}x")
     sys.exit(1)
 PY
 }
@@ -444,6 +534,8 @@ release_lane() {
         serve_smoke
   stage "replay" "replay smoke: offline panel + logging-identity pin" \
         replay_smoke
+  stage "metrics" "metrics identity: bytes unchanged with metrics on/polled/off" \
+        metrics_identity
 }
 
 asan_lane() {

@@ -33,6 +33,7 @@
 #include "exp/sweep_spec.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "replay/dispatch.hpp"
 #include "replay/replay.hpp"
 #include "serve/event_log.hpp"
@@ -69,6 +70,9 @@ int usage(const char* program) {
          "                      --workers)\n"
          "  --port-file F       write the bound host:port to F (with --listen)\n"
          "  --out <file>        write the panel JSON document\n"
+         "  --metrics-out <f>   write a final metrics-registry snapshot\n"
+         "                      (JSON: replay.* and, with --workers, the\n"
+         "                      dist.workers.*/dist.bytes.* fleet counters)\n"
          "  --bench-out <file>  write panel throughput JSON (events/s)\n"
          "(--worker-fd N and --worker-connect H:P are internal: they run the\n"
          " replay worker loop over an inherited fd / a TCP connection)\n";
@@ -302,6 +306,15 @@ int main(int argc, char** argv) {
                 << " events/s (" << scan.records.size() << " records x "
                 << specs.size() << " policies in "
                 << exp::json_number(elapsed) << " s)\n";
+    }
+
+    const std::string metrics_path = args.get_string("metrics-out", "");
+    if (!metrics_path.empty()) {
+      // Before the identity pin: a broken identity should still leave the
+      // snapshot behind for diagnosis.
+      exp::write_file(metrics_path,
+                      obs::MetricsRegistry::global().snapshot().render_json());
+      std::cout << "ncb_replay: wrote " << metrics_path << '\n';
     }
 
     // The identity pin: the logging policy replayed at matched seeds must

@@ -13,6 +13,7 @@
 //             [--family-param 4] [--seed N] [--horizon N]
 //             [--log <file>] [--flush-bytes N] [--flush-ms N]
 //             [--backlog N] [--drain-ms N]
+//             [--metrics-out <file>] [--metrics-interval-ms N]
 //   ncb_serve --inspect-log <file>      # offline: scan + summarize a log
 #include <signal.h>
 
@@ -22,6 +23,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "exp/emitters.hpp"
 #include "exp/sweep_spec.hpp"
 #include "serve/decision_engine.hpp"
 #include "serve/event_log.hpp"
@@ -52,8 +54,55 @@ int usage(const char* program) {
          "  --flush-ms N      event-log age flush threshold (default 50)\n"
          "  --backlog N       listen backlog (default: 64)\n"
          "  --drain-ms N      post-signal client drain window (default: 500)\n"
-         "  --inspect-log <f> scan an event log and print a summary\n";
+         "  --metrics-out <f> write registry snapshots (JSON) to this file\n"
+         "  --metrics-interval-ms N\n"
+         "                    also snapshot every N ms while serving\n"
+         "                    (default 0 = final snapshot only)\n"
+         "  --inspect-log <f> scan an event log and print a summary plus a\n"
+         "                    machine-readable join-health JSON block\n";
   return 2;
+}
+
+/// Flag plumbing for run_server and the event log, validated up front in
+/// the validate_runner_options() style: every rejection names the flag and
+/// echoes the offending value, and main's handler turns the throw into
+/// "error: ..." on stderr with exit code 2.
+struct ServeFlags {
+  std::int64_t flush_bytes = 256 * 1024;
+  std::int64_t flush_ms = 50;
+  std::int64_t backlog = 64;
+  std::int64_t drain_ms = 500;
+  std::string metrics_out;
+  std::int64_t metrics_interval_ms = 0;
+};
+
+void validate_serve_flags(const ServeFlags& flags) {
+  if (flags.flush_bytes <= 0) {
+    throw std::invalid_argument("--flush-bytes: must be positive (got " +
+                                std::to_string(flags.flush_bytes) + ")");
+  }
+  if (flags.flush_ms <= 0) {
+    throw std::invalid_argument("--flush-ms: must be positive (got " +
+                                std::to_string(flags.flush_ms) + ")");
+  }
+  if (flags.backlog <= 0) {
+    throw std::invalid_argument("--backlog: must be positive (got " +
+                                std::to_string(flags.backlog) + ")");
+  }
+  if (flags.drain_ms < 0) {
+    throw std::invalid_argument("--drain-ms: must be non-negative (got " +
+                                std::to_string(flags.drain_ms) + ")");
+  }
+  if (flags.metrics_interval_ms < 0) {
+    throw std::invalid_argument(
+        "--metrics-interval-ms: must be non-negative (got " +
+        std::to_string(flags.metrics_interval_ms) + ")");
+  }
+  if (flags.metrics_interval_ms > 0 && flags.metrics_out.empty()) {
+    throw std::invalid_argument(
+        "--metrics-interval-ms: requires --metrics-out (nowhere to write "
+        "periodic snapshots)");
+  }
 }
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -80,6 +129,31 @@ int inspect_log(const std::string& path) {
             << " decisions=" << scan.decisions
             << " feedbacks=" << scan.feedbacks << " joined=" << scan.joined
             << " valid_bytes=" << scan.valid_bytes << '\n';
+  // Join-health block: the same numbers in one machine-readable JSON
+  // object, plus what the prose line cannot say — how many feedbacks were
+  // orphans or duplicates and how many decisions never got a reward.
+  const serve::EventLogJoin join = serve::join_event_log(scan);
+  const double min_propensity =
+      join.decisions > 0 ? join.min_propensity : 0.0;
+  std::cout << "{\n"
+            << "  \"schema\": 1,\n"
+            << "  \"path\": \"" << exp::json_escape(path) << "\",\n"
+            << "  \"version\": " << scan.version << ",\n"
+            << "  \"records\": " << scan.records.size() << ",\n"
+            << "  \"decisions\": " << join.decisions << ",\n"
+            << "  \"feedbacks\": " << scan.feedbacks << ",\n"
+            << "  \"joined\": " << join.joined << ",\n"
+            << "  \"unjoined_decisions\": " << (join.decisions - join.joined)
+            << ",\n"
+            << "  \"orphan_feedbacks\": " << join.orphan_feedbacks << ",\n"
+            << "  \"duplicate_feedbacks\": " << join.duplicate_feedbacks
+            << ",\n"
+            << "  \"min_propensity\": " << exp::json_number(min_propensity)
+            << ",\n"
+            << "  \"valid_bytes\": " << scan.valid_bytes << ",\n"
+            << "  \"truncated_tail\": "
+            << (scan.truncated_tail ? "true" : "false") << "\n"
+            << "}\n";
   if (scan.truncated_tail) {
     std::cerr << "error: truncated tail after the last complete record — "
                  "the prefix above is intact, but the log is incomplete\n";
@@ -115,14 +189,22 @@ int main(int argc, char** argv) {
     engine_options.seed = config.seed;
     engine_options.horizon = args.get_int("horizon", 0);
 
+    ServeFlags flags;
+    flags.flush_bytes = args.get_int("flush-bytes", 256 * 1024);
+    flags.flush_ms = args.get_int("flush-ms", 50);
+    flags.backlog = args.get_int("backlog", 64);
+    flags.drain_ms = args.get_int("drain-ms", 500);
+    flags.metrics_out = args.get_string("metrics-out", "");
+    flags.metrics_interval_ms = args.get_int("metrics-interval-ms", 0);
+    validate_serve_flags(flags);
+
     std::unique_ptr<serve::EventLog> log;
     const std::string log_path = args.get_string("log", "");
     if (!log_path.empty()) {
       serve::EventLog::Options log_options;
       log_options.path = log_path;
-      log_options.flush_bytes =
-          static_cast<std::size_t>(args.get_int("flush-bytes", 256 * 1024));
-      log_options.flush_ms = static_cast<int>(args.get_int("flush-ms", 50));
+      log_options.flush_bytes = static_cast<std::size_t>(flags.flush_bytes);
+      log_options.flush_ms = static_cast<int>(flags.flush_ms);
       log = std::make_unique<serve::EventLog>(log_options);
     }
 
@@ -136,15 +218,19 @@ int main(int argc, char** argv) {
     install_stop_handlers();
     serve::ServerOptions server_options;
     server_options.socket_path = socket_path;
-    server_options.backlog = static_cast<int>(args.get_int("backlog", 64));
-    server_options.drain_ms = static_cast<int>(args.get_int("drain-ms", 500));
+    server_options.backlog = static_cast<int>(flags.backlog);
+    server_options.drain_ms = static_cast<int>(flags.drain_ms);
     server_options.should_stop = [] { return g_stop != 0; };
+    server_options.metrics_out = flags.metrics_out;
+    server_options.metrics_interval_ms =
+        static_cast<int>(flags.metrics_interval_ms);
     const serve::ServerStats stats = serve::run_server(engine, server_options);
 
     if (log) log->close();  // drains every buffered record before we report
     std::cout << "ncb_serve: served " << stats.decide_requests
               << " decisions, " << stats.feedback_frames << " feedbacks ("
-              << engine.unknown_feedbacks() << " unknown) over "
+              << engine.unknown_feedbacks() << " unknown, "
+              << engine.duplicate_feedbacks() << " duplicate) over "
               << stats.connections_accepted << " connections, "
               << stats.protocol_errors << " protocol errors\n";
     if (log) {

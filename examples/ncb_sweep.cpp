@@ -41,6 +41,7 @@
 #include "exp/sweep_runner.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/arg_parse.hpp"
 #include "util/timer.hpp"
@@ -56,6 +57,8 @@ int usage(const char* program) {
          "  --spec <file>     sweep spec (key = value lines; see specs/)\n"
          "  --out <file>      JSON output (default: <spec name>.sweep.json)\n"
          "  --csv <file>      also emit a long-format CSV table\n"
+         "  --metrics-out <f> write a final metrics-registry snapshot (JSON:\n"
+         "                    dist.jobs.*, dist.workers.*, dist.bytes.*)\n"
          "  --threads N       worker threads: in-process pool size, or the\n"
          "                    per-worker pool size with --workers\n"
          "                    (0 = auto, default)\n"
@@ -442,6 +445,12 @@ int main(int argc, char** argv) {
     }
     std::cout << "ran " << launched << " jobs (skipped " << skipped << ") in "
               << timer.elapsed_seconds() << "s\n";
+    const std::string metrics_path = args.get_string("metrics-out", "");
+    if (!metrics_path.empty()) {
+      write_file(metrics_path,
+                 obs::MetricsRegistry::global().snapshot().render_json());
+      std::cout << "wrote " << metrics_path << '\n';
+    }
     if (interrupted) {
       std::cout << "interrupted: completed records were flushed; rerun with "
                    "--resume to finish\n";

@@ -9,6 +9,7 @@
 #include "exp/emitters.hpp"
 #include "net/transport.hpp"
 #include "net/worker_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace ncb::dist {
 
@@ -21,6 +22,12 @@ class Coordinator {
               const std::set<std::string>& skip_keys,
               net::StreamTransport& transport)
       : jobs_(jobs), options_(options), attempts_(jobs.size(), 0),
+        m_jobs_queued_(
+            obs::MetricsRegistry::global().gauge("dist.jobs.queued")),
+        m_jobs_completed_(
+            obs::MetricsRegistry::global().counter("dist.jobs.completed")),
+        m_jobs_requeued_(
+            obs::MetricsRegistry::global().counter("dist.jobs.requeued")),
         pool_(pool_options(transport), pool_hooks()) {
     // The skip/max_jobs cut happens in expansion order FIRST — which jobs
     // run must not depend on the scheduling heuristic below, or --max-jobs
@@ -43,6 +50,7 @@ class Coordinator {
                      [this](std::size_t a, std::size_t b) {
                        return job_slots(a) > job_slots(b);
                      });
+    m_jobs_queued_.set(static_cast<std::int64_t>(queue_.size()));
   }
 
   DistSweepSummary run() {
@@ -137,6 +145,7 @@ class Coordinator {
     if (queue_.empty()) return;
     const std::size_t index = queue_.front();
     queue_.pop_front();
+    m_jobs_queued_.set(static_cast<std::int64_t>(queue_.size()));
     worker.user_tag = static_cast<std::ptrdiff_t>(index);
     JobAssignMsg assign;
     assign.attempt = static_cast<std::uint32_t>(attempts_[index] + 1);
@@ -161,7 +170,11 @@ class Coordinator {
     // retry recomputes bit-identical records, so the merged output does
     // not depend on the crash at all.
     queue_.push_front(index);
-    if (!stopping_) ++summary_.requeues;
+    m_jobs_queued_.set(static_cast<std::int64_t>(queue_.size()));
+    if (!stopping_) {
+      ++summary_.requeues;
+      m_jobs_requeued_.inc();
+    }
   }
 
   void maintain_fleet() {
@@ -185,6 +198,7 @@ class Coordinator {
         const std::size_t index = static_cast<std::size_t>(worker.user_tag);
         worker.user_tag = -1;
         ++worker.jobs_done;
+        m_jobs_completed_.inc();
         DistJobResult done;
         done.job = &jobs_[index];
         done.record_line = result.record_line;
@@ -219,6 +233,10 @@ class Coordinator {
   DistSweepSummary summary_;
   std::size_t queued_ = 0;
   bool stopping_ = false;
+  // Registry mirrors (global registry: the sweep CLI snapshots it).
+  obs::Gauge& m_jobs_queued_;
+  obs::Counter& m_jobs_completed_;
+  obs::Counter& m_jobs_requeued_;
   // Last member: its destructor (which releases every peer) runs first on
   // any exit path, including the throws above.
   net::WorkerPool pool_;

@@ -133,6 +133,10 @@ const char* frame_type_name(MsgType type) noexcept {
       return "ReplayAssign";
     case MsgType::kReplayResult:
       return "ReplayResult";
+    case MsgType::kStatsRequest:
+      return "StatsRequest";
+    case MsgType::kStatsReply:
+      return "StatsReply";
   }
   return "unknown";
 }
@@ -356,6 +360,33 @@ FeedbackMsg decode_feedback(const std::string& payload) {
   return msg;
 }
 
+std::string encode_stats_reply(const StatsReplyMsg& msg) {
+  WireWriter out;
+  out.put_u32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const StatsEntry& entry : msg.entries) {
+    out.put_u8(entry.kind);
+    out.put_string(entry.name);
+    out.put_u64(entry.value);
+  }
+  return out.take();
+}
+
+StatsReplyMsg decode_stats_reply(const std::string& payload) {
+  WireReader in(payload);
+  StatsReplyMsg msg;
+  const std::uint32_t count = in.get_u32();
+  msg.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StatsEntry entry;
+    entry.kind = in.get_u8();
+    entry.name = in.get_string();
+    entry.value = in.get_u64();
+    msg.entries.push_back(std::move(entry));
+  }
+  in.finish();
+  return msg;
+}
+
 // ------------------------------------------------------------- framing ---
 
 namespace {
@@ -364,7 +395,7 @@ constexpr std::size_t kFrameHeaderBytes = 5;  // u32 length + u8 type.
 
 bool valid_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         type <= static_cast<std::uint8_t>(MsgType::kReplayResult);
+         type <= static_cast<std::uint8_t>(MsgType::kStatsReply);
 }
 
 /// Parses a frame header; throws on an unusable length or type.

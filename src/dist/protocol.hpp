@@ -27,6 +27,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "exp/sweep_spec.hpp"
 
@@ -46,7 +47,8 @@ inline constexpr std::uint32_t kProtocolMagic = 0x4e434250;  // "NCBP"
 /// Bump on any framing or payload layout change.
 /// v2: serve frame types (DecideRequest / DecideReply / Feedback).
 /// v3: WorkerInfo admission frame + distributed-replay frame types.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: StatsRequest / StatsReply live-metrics frames.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 /// Upper bound on a frame payload; a corrupted length prefix fails fast
 /// instead of attempting a multi-gigabyte allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
@@ -66,6 +68,8 @@ enum class MsgType : std::uint8_t {
   kReplayEvents = 12,  ///< replay coordinator → worker: one log chunk.
   kReplayAssign = 13,  ///< replay coordinator → worker: one candidate.
   kReplayResult = 14,  ///< replay worker → coordinator: estimator state.
+  kStatsRequest = 15,  ///< serve client → server: metrics poll (no payload).
+  kStatsReply = 16,    ///< server → serve client: flattened registry stats.
 };
 
 /// Stable display name of a message type ("Hello", "DecideReply", ...);
@@ -213,6 +217,30 @@ struct FeedbackMsg {
 
 [[nodiscard]] std::string encode_feedback(const FeedbackMsg& msg);
 [[nodiscard]] FeedbackMsg decode_feedback(const std::string& payload);
+
+/// One flattened metric in a StatsReply. `kind` mirrors the obs layer's
+/// StatEntry kinds: 0 counter, 1 gauge (value is an int64 bit pattern),
+/// 2 histogram-derived scalar (name carries a .count/.max/.p50/... suffix).
+/// Kept as a plain wire struct so the protocol layer stays independent of
+/// src/obs/ — the server maps between the two.
+struct StatsEntry {
+  static constexpr std::uint8_t kCounter = 0;
+  static constexpr std::uint8_t kGauge = 1;
+  static constexpr std::uint8_t kHistogram = 2;
+  std::uint8_t kind = 0;
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// StatsRequest carries no payload; the reply is the full registry,
+/// flattened. Binary (not JSON) on purpose: a poller like ncb_stats needs
+/// no JSON parser, and the server pays one pass over the registry.
+struct StatsReplyMsg {
+  std::vector<StatsEntry> entries;
+};
+
+[[nodiscard]] std::string encode_stats_reply(const StatsReplyMsg& msg);
+[[nodiscard]] StatsReplyMsg decode_stats_reply(const std::string& payload);
 
 // ------------------------------------------------------------- framing ---
 

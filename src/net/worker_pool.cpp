@@ -16,11 +16,22 @@ namespace {
 /// Frame header bytes (u32 length + u8 type) for byte accounting.
 constexpr std::uint64_t kFrameOverhead = 5;
 
+obs::MetricsRegistry& pool_registry(const WorkerPool::Options& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::global();
+}
+
 }  // namespace
 
 WorkerPool::WorkerPool(const Options& options, Hooks hooks)
     : transport_(options.transport), options_(options),
-      hooks_(std::move(hooks)) {
+      hooks_(std::move(hooks)), registry_(pool_registry(options)),
+      m_admitted_(registry_.counter("dist.workers.admitted")),
+      m_lost_(registry_.counter("dist.workers.lost")),
+      m_rejected_(registry_.counter("dist.workers.rejected")),
+      m_active_(registry_.gauge("dist.workers.active")),
+      m_bytes_in_(registry_.counter("dist.bytes.in")),
+      m_bytes_out_(registry_.counter("dist.bytes.out")) {
   if (transport_ == nullptr) {
     throw std::invalid_argument("WorkerPool: null transport");
   }
@@ -31,6 +42,7 @@ WorkerPool::~WorkerPool() {
     if (worker.peer.fd >= 0) {
       transport_->release_peer(worker.peer);
       --live_;
+      if (worker.admitted) m_active_.add(-1);  // keep the gauge true
     }
   }
 }
@@ -53,7 +65,19 @@ void WorkerPool::admit_pending() {
   }
 }
 
+void WorkerPool::update_worker_gauges(PoolWorker& worker) {
+  if (worker.g_jobs_done == nullptr) return;
+  worker.g_jobs_done->set(static_cast<std::int64_t>(worker.jobs_done));
+  worker.g_bytes_in->set(static_cast<std::int64_t>(worker.bytes_in));
+  worker.g_bytes_out->set(static_cast<std::int64_t>(worker.bytes_out));
+  const double end = worker.peer.fd >= 0 ? clock_.elapsed_seconds()
+                                         : worker.released_seconds;
+  worker.g_uptime_ms->set(
+      static_cast<std::int64_t>((end - worker.admitted_seconds) * 1000.0));
+}
+
 void WorkerPool::charge_admission_budget(const std::string& why) {
+  m_rejected_.inc();
   if (++admission_failures_ > options_.admission_budget) {
     throw std::runtime_error(
         "worker admission failed " + std::to_string(admission_failures_) +
@@ -68,6 +92,10 @@ void WorkerPool::worker_released(PoolWorker& worker) {
   transport_->release_peer(worker.peer);
   --live_;
   worker.released_seconds = clock_.elapsed_seconds();
+  if (worker.admitted) {
+    m_active_.add(-1);
+    update_worker_gauges(worker);  // freeze the final per-worker figures
+  }
 
   const bool clean = worker.shutdown_sent && worker.user_tag < 0;
   if (clean) return;
@@ -77,6 +105,7 @@ void WorkerPool::worker_released(PoolWorker& worker) {
                             " disconnected before completing the handshake");
     return;
   }
+  m_lost_.inc();
   worker.lost_in_flight = worker.user_tag >= 0;
   if (hooks_.on_lost) hooks_.on_lost(worker);
   worker.user_tag = -1;
@@ -88,6 +117,7 @@ void WorkerPool::send(PoolWorker& worker, dist::MsgType type,
   try {
     dist::write_frame(worker.peer.fd, type, payload);
     worker.bytes_out += kFrameOverhead + payload.size();
+    m_bytes_out_.inc(kFrameOverhead + payload.size());
   } catch (const std::exception&) {
     worker_released(worker);
   }
@@ -132,6 +162,15 @@ void WorkerPool::handle_handshake_frame(PoolWorker& worker,
       worker.id = next_id_++;
       worker.admitted = true;
       worker.admitted_seconds = clock_.elapsed_seconds();
+      m_admitted_.inc();
+      m_active_.add(1);
+      const std::string prefix =
+          "dist.worker." + std::to_string(worker.id) + ".";
+      worker.g_jobs_done = &registry_.gauge(prefix + "jobs_done");
+      worker.g_bytes_in = &registry_.gauge(prefix + "bytes_in");
+      worker.g_bytes_out = &registry_.gauge(prefix + "bytes_out");
+      worker.g_uptime_ms = &registry_.gauge(prefix + "uptime_ms");
+      update_worker_gauges(worker);
       if (hooks_.on_admitted) hooks_.on_admitted(worker);
       return;
     }
@@ -162,6 +201,7 @@ void WorkerPool::read_ready(PoolWorker& worker) {
     return;
   }
   worker.bytes_in += static_cast<std::uint64_t>(n);
+  m_bytes_in_.inc(static_cast<std::uint64_t>(n));
   try {
     worker.decoder.feed(buf, static_cast<std::size_t>(n));
     while (true) {
@@ -220,6 +260,11 @@ void WorkerPool::poll_once(int timeout_ms) {
     PoolWorker& worker = workers_[static_cast<std::size_t>(owners[i])];
     if (worker.peer.fd < 0) continue;  // released while handling a sibling
     read_ready(worker);
+  }
+  // Refresh the live per-worker gauges once per turn so a mid-run stats
+  // poll sees current jobs/bytes/uptime, not admission-time zeros.
+  for (PoolWorker& worker : workers_) {
+    if (worker.peer.fd >= 0 && worker.admitted) update_worker_gauges(worker);
   }
 }
 

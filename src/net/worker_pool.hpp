@@ -27,6 +27,7 @@
 
 #include "dist/protocol.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace ncb::net {
@@ -53,6 +54,12 @@ struct PoolWorker {
   double released_seconds = 0.0;  ///< Pool clock at release (0 = live).
   bool lost = false;              ///< Released uncleanly.
   bool lost_in_flight = false;    ///< Lost while user_tag >= 0.
+  // Per-worker registry gauges (dist.worker.<id>.*), resolved at admission
+  // and refreshed every poll turn; null until the handshake completes.
+  obs::Gauge* g_jobs_done = nullptr;
+  obs::Gauge* g_bytes_in = nullptr;
+  obs::Gauge* g_bytes_out = nullptr;
+  obs::Gauge* g_uptime_ms = nullptr;
 };
 
 /// End-of-run per-worker accounting for the coordinator summary lines.
@@ -79,6 +86,9 @@ class WorkerPool {
     /// this many times before poll_once throws — respawn-storm and
     /// junk-connection bound.
     std::size_t admission_budget = 8;
+    /// Registry mirroring fleet health (dist.workers.*, dist.bytes.*,
+    /// dist.worker.<id>.*); nullptr → obs::MetricsRegistry::global().
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   struct Hooks {
@@ -138,6 +148,7 @@ class WorkerPool {
   void handle_handshake_frame(PoolWorker& worker, const dist::Frame& frame);
   void worker_released(PoolWorker& worker);
   void charge_admission_budget(const std::string& why);
+  void update_worker_gauges(PoolWorker& worker);
 
   StreamTransport* transport_;
   Options options_;
@@ -147,6 +158,15 @@ class WorkerPool {
   std::size_t live_ = 0;
   std::size_t next_id_ = 0;
   std::size_t admission_failures_ = 0;
+
+  // Registry mirrors (resolved once in the constructor).
+  obs::MetricsRegistry& registry_;
+  obs::Counter& m_admitted_;
+  obs::Counter& m_lost_;
+  obs::Counter& m_rejected_;
+  obs::Gauge& m_active_;
+  obs::Counter& m_bytes_in_;
+  obs::Counter& m_bytes_out_;
 };
 
 }  // namespace ncb::net

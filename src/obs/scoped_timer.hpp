@@ -1,0 +1,43 @@
+// RAII span timer feeding an obs::Histogram in microseconds.
+//
+// Construct at the top of the measured scope; the destructor records the
+// elapsed wall time. Under NCB_NO_METRICS the whole object is empty and
+// every member function is a no-op, so a timer on a hot path costs nothing
+// when telemetry is compiled out.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace ncb::obs {
+
+class ScopedTimer {
+ public:
+#ifndef NCB_NO_METRICS
+  explicit ScopedTimer(Histogram& histogram) noexcept
+      : histogram_(&histogram),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+#else
+  explicit ScopedTimer(Histogram&) noexcept {}
+#endif
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#ifndef NCB_NO_METRICS
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+}  // namespace ncb::obs

@@ -13,6 +13,7 @@
 #include "dist/protocol.hpp"
 #include "dist/worker.hpp"
 #include "exp/sweep_spec.hpp"
+#include "obs/metrics.hpp"
 
 namespace ncb::replay {
 
@@ -423,6 +424,10 @@ DistPanelSummary run_distributed_panel(const Graph& graph,
 
   std::deque<std::size_t> queue;
   for (std::size_t i = 0; i < specs.size(); ++i) queue.push_back(i);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Gauge& m_queued = registry.gauge("replay.candidates.queued");
+  obs::Counter& m_requeued = registry.counter("replay.candidates.requeued");
+  m_queued.set(static_cast<std::int64_t>(queue.size()));
   std::vector<std::size_t> attempts(specs.size(), 0);
   std::vector<CandidateSummary> done(specs.size());
   std::size_t completed = 0;
@@ -456,6 +461,7 @@ DistPanelSummary run_distributed_panel(const Graph& graph,
     }
     const std::size_t index = queue.front();
     queue.pop_front();
+    m_queued.set(static_cast<std::int64_t>(queue.size()));
     worker.user_tag = static_cast<std::ptrdiff_t>(index);
     ReplayAssignMsg assign;
     assign.index = static_cast<std::uint32_t>(index);
@@ -521,7 +527,9 @@ DistPanelSummary run_distributed_panel(const Graph& graph,
     // same shipped stream, so the assembled panel does not depend on the
     // crash at all.
     queue.push_front(index);
+    m_queued.set(static_cast<std::int64_t>(queue.size()));
     ++summary.requeues;
+    m_requeued.inc();
   };
   pool.set_hooks(std::move(hooks));
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/policy_registry.hpp"
+#include "obs/metrics.hpp"
 #include "serve/decision_engine.hpp"
 #include "util/rng.hpp"
 
@@ -218,6 +219,11 @@ CandidateSummary score_candidate(const Graph& graph,
   summary.weight_sq_sum = accumulator.weight_sq_sum();
   summary.weighted_reward_sum = accumulator.weighted_reward_sum();
   summary.max_weight = accumulator.max_weight();
+  // Bulk-increment outside the replay loop: one registry touch per
+  // candidate, not per record.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter("replay.events.scored").inc(summary.ips_stat.count());
+  registry.counter("replay.candidates.scored").inc();
   return summary;
 }
 

@@ -16,12 +16,27 @@ std::uint64_t fnv1a_key(const std::string& key) noexcept {
   return h;
 }
 
+namespace {
+
+obs::MetricsRegistry& engine_registry(const EngineOptions& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::global();
+}
+
+}  // namespace
+
 DecisionEngine::DecisionEngine(Graph graph, const EngineOptions& options,
                                EventLog* log)
     : graph_(std::move(graph)),
       epsilon_(options.epsilon),
       seed_(options.seed),
-      log_(log) {
+      log_(log),
+      m_decisions_(engine_registry(options).counter("serve.engine.decisions")),
+      m_feedbacks_(engine_registry(options).counter("serve.engine.feedbacks")),
+      m_unknown_(
+          engine_registry(options).counter("serve.engine.unknown_feedbacks")),
+      m_duplicates_(engine_registry(options).counter(
+          "serve.engine.duplicate_feedbacks")) {
   if (graph_.num_vertices() == 0) {
     throw std::invalid_argument("decision engine: empty graph");
   }
@@ -66,6 +81,7 @@ Decision DecisionEngine::decide(const std::string& user_key,
   if (log_ != nullptr) {
     log_->append_decision(decision.decision_id, user_key, action, propensity);
   }
+  m_decisions_.inc();
   return decision;
 }
 
@@ -73,7 +89,15 @@ bool DecisionEngine::report(std::uint64_t decision_id, double reward) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = pending_.find(decision_id);
   if (it == pending_.end()) {
-    ++unknown_feedbacks_;
+    // Issued-but-not-pending means the reward already arrived: a duplicate.
+    // An id outside [1, t_] was never issued at all.
+    if (decision_id >= 1 && decision_id <= static_cast<std::uint64_t>(t_)) {
+      ++duplicate_feedbacks_;
+      m_duplicates_.inc();
+    } else {
+      ++unknown_feedbacks_;
+      m_unknown_.inc();
+    }
     return false;
   }
   const ArmId played = it->second;
@@ -83,6 +107,7 @@ bool DecisionEngine::report(std::uint64_t decision_id, double reward) {
   policy_->observe(played, t_, {{played, reward}});
   pending_.erase(it);
   ++feedbacks_;
+  m_feedbacks_.inc();
   if (log_ != nullptr) log_->append_feedback(decision_id, reward);
   return true;
 }
@@ -109,6 +134,11 @@ std::uint64_t DecisionEngine::feedbacks() const {
 std::uint64_t DecisionEngine::unknown_feedbacks() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return unknown_feedbacks_;
+}
+
+std::uint64_t DecisionEngine::duplicate_feedbacks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return duplicate_feedbacks_;
 }
 
 std::size_t DecisionEngine::pending() const {

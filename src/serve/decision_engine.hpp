@@ -27,6 +27,7 @@
 
 #include "core/policy.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "serve/event_log.hpp"
 #include "util/types.hpp"
 
@@ -50,6 +51,10 @@ struct EngineOptions {
   std::uint64_t seed = 20170605;
   /// Horizon hint forwarded to the policy builder (0 = anytime).
   TimeSlot horizon = 0;
+  /// Registry mirroring the engine counters (serve.engine.*); nullptr →
+  /// obs::MetricsRegistry::global(). Observability only — never feeds back
+  /// into a decision.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One answered decision request.
@@ -86,8 +91,11 @@ class DecisionEngine {
 
   [[nodiscard]] std::uint64_t decisions() const;
   [[nodiscard]] std::uint64_t feedbacks() const;
-  /// report() calls that named an unknown decision_id.
+  /// report() calls naming a decision_id that was never issued.
   [[nodiscard]] std::uint64_t unknown_feedbacks() const;
+  /// report() calls naming a decision that already received its reward —
+  /// the join-health signal a lossy or retrying feedback path produces.
+  [[nodiscard]] std::uint64_t duplicate_feedbacks() const;
   /// Decisions awaiting feedback.
   [[nodiscard]] std::size_t pending() const;
 
@@ -105,6 +113,14 @@ class DecisionEngine {
   std::unordered_map<std::uint64_t, std::uint64_t> per_key_count_;
   std::uint64_t feedbacks_ = 0;
   std::uint64_t unknown_feedbacks_ = 0;
+  std::uint64_t duplicate_feedbacks_ = 0;
+
+  // Registry mirrors of the counters above (references resolved once in
+  // the constructor; increments are relaxed atomics on the hot path).
+  obs::Counter& m_decisions_;
+  obs::Counter& m_feedbacks_;
+  obs::Counter& m_unknown_;
+  obs::Counter& m_duplicates_;
 };
 
 }  // namespace ncb::serve

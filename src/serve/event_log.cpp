@@ -36,9 +36,25 @@ std::uint32_t read_u32_le(const char* p) {
   return v;
 }
 
+obs::MetricsRegistry& log_registry(const EventLog::Options& options) {
+  return options.metrics != nullptr ? *options.metrics
+                                    : obs::MetricsRegistry::global();
+}
+
 }  // namespace
 
-EventLog::EventLog(Options options) : options_(std::move(options)) {
+EventLog::EventLog(Options options)
+    : options_(std::move(options)),
+      m_records_(log_registry(options_).counter("serve.log.records")),
+      m_flushes_(log_registry(options_).counter("serve.log.flushes")),
+      m_flushed_bytes_(
+          log_registry(options_).counter("serve.log.flushed_bytes")),
+      m_flush_stalls_(
+          log_registry(options_).counter("serve.log.flush_stalls")),
+      m_write_failures_(
+          log_registry(options_).counter("serve.log.write_failures")),
+      m_buffered_bytes_(
+          log_registry(options_).gauge("serve.log.buffered_bytes")) {
   if (options_.path.empty()) {
     throw std::runtime_error("event log: empty path");
   }
@@ -100,7 +116,13 @@ void EventLog::append_record(EventType type, const std::string& payload) {
     active_.append(payload);
     ++records_;
     signal = active_.size() >= options_.flush_bytes;
+    // A full buffer while the previous batch is still being written means
+    // appends are outpacing the disk — the stall signal a saturated log
+    // shows before it starts growing without bound.
+    if (signal && write_in_progress_) m_flush_stalls_.inc();
+    m_buffered_bytes_.set(static_cast<std::int64_t>(active_.size()));
   }
+  m_records_.inc();
   if (signal) wake_flusher_.notify_one();
 }
 
@@ -171,6 +193,7 @@ void EventLog::flusher_main() {
     writing_.clear();
     writing_.swap(active_);
     write_in_progress_ = true;
+    m_buffered_bytes_.set(0);
     const bool already_failed = write_failed_;
     lock.unlock();
     bool wrote = true;
@@ -191,8 +214,11 @@ void EventLog::flusher_main() {
     if (wrote) {
       bytes_written_ += writing_.size();
       ++flush_batches_;
+      m_flushes_.inc();
+      m_flushed_bytes_.inc(writing_.size());
     } else {
       write_failed_ = true;
+      m_write_failures_.inc();
     }
     if (active_.empty()) force_flush_ = false;
     flush_done_.notify_all();

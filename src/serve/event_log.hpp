@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/types.hpp"
 
 namespace ncb::serve {
@@ -66,6 +67,9 @@ class EventLog {
     std::size_t flush_bytes = 256 * 1024;
     /// ...or when appended data has been buffered this long.
     int flush_ms = 50;
+    /// Registry mirroring the flush-pipeline health metrics (serve.log.*);
+    /// nullptr → obs::MetricsRegistry::global().
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Opens (truncating) `path`, writes the header, starts the flusher.
@@ -122,6 +126,14 @@ class EventLog {
   std::uint64_t records_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t flush_batches_ = 0;
+
+  // Registry mirrors (resolved once in the constructor).
+  obs::Counter& m_records_;
+  obs::Counter& m_flushes_;
+  obs::Counter& m_flushed_bytes_;
+  obs::Counter& m_flush_stalls_;
+  obs::Counter& m_write_failures_;
+  obs::Gauge& m_buffered_bytes_;
 
   std::thread flusher_;
 };

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "dist/protocol.hpp"
+#include "exp/emitters.hpp"
+#include "obs/scoped_timer.hpp"
 
 namespace ncb::serve {
 
@@ -74,13 +76,27 @@ int listen_unix(const std::string& path, int backlog) {
 class Reactor {
  public:
   Reactor(DecisionEngine& engine, const ServerOptions& options)
-      : engine_(engine), options_(options) {
+      : engine_(engine),
+        options_(options),
+        registry_(options.metrics != nullptr ? *options.metrics
+                                             : obs::MetricsRegistry::global()),
+        m_connections_(registry_.counter("serve.connections.accepted")),
+        m_active_conns_(registry_.gauge("serve.connections.active")),
+        m_decides_(registry_.counter("serve.decide.requests")),
+        m_feedbacks_(registry_.counter("serve.feedback.frames")),
+        m_protocol_errors_(registry_.counter("serve.protocol.errors")),
+        m_stats_requests_(registry_.counter("serve.stats.requests")),
+        m_decide_latency_(registry_.histogram("serve.decide.latency_us")),
+        m_feedback_latency_(registry_.histogram("serve.feedback.latency_us")) {
     listen_fd_ = listen_unix(options_.socket_path, options_.backlog);
   }
 
   ~Reactor() {
     for (Conn& conn : conns_) {
-      if (conn.fd >= 0) ::close(conn.fd);
+      if (conn.fd >= 0) {
+        ::close(conn.fd);
+        m_active_conns_.add(-1);  // drained-away clients: keep the gauge true
+      }
     }
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
@@ -91,6 +107,10 @@ class Reactor {
   ServerStats run() {
     bool draining = false;
     Clock::time_point drain_deadline{};
+    const bool periodic_metrics =
+        !options_.metrics_out.empty() && options_.metrics_interval_ms > 0;
+    Clock::time_point next_metrics =
+        Clock::now() + std::chrono::milliseconds(options_.metrics_interval_ms);
     while (true) {
       if (!draining && options_.should_stop && options_.should_stop()) {
         draining = true;
@@ -104,8 +124,21 @@ class Reactor {
           (conns_.empty() || Clock::now() >= drain_deadline)) {
         break;
       }
-      poll_once(draining ? remaining_ms(drain_deadline) : 200);
+      int timeout_ms = draining ? remaining_ms(drain_deadline) : 200;
+      if (periodic_metrics) {
+        if (Clock::now() >= next_metrics) {
+          write_metrics_snapshot();
+          next_metrics =
+              Clock::now() +
+              std::chrono::milliseconds(options_.metrics_interval_ms);
+        }
+        timeout_ms = std::min(timeout_ms, remaining_ms(next_metrics));
+      }
+      poll_once(timeout_ms);
     }
+    // Final snapshot: the post-drain totals a dashboard scrapes after the
+    // server is gone.
+    if (!options_.metrics_out.empty()) write_metrics_snapshot();
     return stats_;
   }
 
@@ -169,6 +202,8 @@ class Reactor {
       conn.fd = fd;
       conns_.push_back(std::move(conn));
       ++stats_.connections_accepted;
+      m_connections_.inc();
+      m_active_conns_.add(1);
     }
   }
 
@@ -225,6 +260,7 @@ class Reactor {
     }
     switch (frame.type) {
       case dist::MsgType::kDecideRequest: {
+        const obs::ScopedTimer timer(m_decide_latency_);
         const dist::DecideRequestMsg request =
             dist::decode_decide_request(frame.payload);
         const Decision decision = engine_.decide(request.user_key, request.slot);
@@ -237,13 +273,32 @@ class Reactor {
         dist::append_frame(conn.outbuf, dist::MsgType::kDecideReply,
                            dist::encode_decide_reply(reply));
         ++stats_.decide_requests;
+        m_decides_.inc();
         return;
       }
       case dist::MsgType::kFeedback: {
+        const obs::ScopedTimer timer(m_feedback_latency_);
         const dist::FeedbackMsg feedback =
             dist::decode_feedback(frame.payload);
         engine_.report(feedback.decision_id, feedback.reward);
         ++stats_.feedback_frames;
+        m_feedbacks_.inc();
+        return;
+      }
+      case dist::MsgType::kStatsRequest: {
+        // Metrics poll: reply from the registry alone — no engine call, no
+        // log write, so polling mid-run cannot perturb serving.
+        if (!frame.payload.empty()) {
+          drop(conn, "StatsRequest with a payload");
+          return;
+        }
+        m_stats_requests_.inc();
+        dist::StatsReplyMsg reply;
+        for (const obs::StatEntry& entry : registry_.snapshot().flatten()) {
+          reply.entries.push_back({entry.kind, entry.name, entry.value});
+        }
+        dist::append_frame(conn.outbuf, dist::MsgType::kStatsReply,
+                           dist::encode_stats_reply(reply));
         return;
       }
       default:
@@ -276,11 +331,26 @@ class Reactor {
   void drop(Conn& conn, const char* reason) {
     if (reason != nullptr) {
       ++stats_.protocol_errors;
+      m_protocol_errors_.inc();
       std::fprintf(stderr, "serve: dropping client: %s\n", reason);
     }
     ::close(conn.fd);
     conn.fd = -1;
+    m_active_conns_.add(-1);
     need_reap_ = true;
+  }
+
+  void write_metrics_snapshot() noexcept {
+    try {
+      exp::write_file(options_.metrics_out,
+                      registry_.snapshot().render_json());
+    } catch (const std::exception& e) {
+      // A bad snapshot path must not take down serving; say so once.
+      if (!metrics_write_warned_) {
+        metrics_write_warned_ = true;
+        std::fprintf(stderr, "serve: metrics snapshot failed: %s\n", e.what());
+      }
+    }
   }
 
   void reap_closed() {
@@ -297,12 +367,22 @@ class Reactor {
 
   DecisionEngine& engine_;
   const ServerOptions& options_;
+  obs::MetricsRegistry& registry_;
+  obs::Counter& m_connections_;
+  obs::Gauge& m_active_conns_;
+  obs::Counter& m_decides_;
+  obs::Counter& m_feedbacks_;
+  obs::Counter& m_protocol_errors_;
+  obs::Counter& m_stats_requests_;
+  obs::Histogram& m_decide_latency_;
+  obs::Histogram& m_feedback_latency_;
   int listen_fd_ = -1;
   std::vector<Conn> conns_;
   std::vector<pollfd> fds_;        ///< Reused across rounds (no allocation).
   std::vector<std::size_t> owners_;
   ServerStats stats_;
   bool need_reap_ = false;
+  bool metrics_write_warned_ = false;
 };
 
 }  // namespace

@@ -4,7 +4,9 @@
 // accepted nonblocking clients multiplexed through poll(). Clients speak
 // the dist/protocol length-prefixed framing — a versioned Hello/HelloAck
 // handshake (schema word kServeWireSchema) followed by any interleaving of
-// DecideRequest (answered with a DecideReply) and Feedback (one-way).
+// DecideRequest (answered with a DecideReply), Feedback (one-way), and
+// StatsRequest (answered with a StatsReply holding the flattened metrics
+// registry — a live server is queryable without disturbing traffic).
 // Replies are appended to a per-connection output buffer and written
 // eagerly; whatever the socket cannot take immediately is drained via
 // POLLOUT, so one slow client never blocks the reactor.
@@ -22,6 +24,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/decision_engine.hpp"
 
 namespace ncb::serve {
@@ -34,6 +37,15 @@ struct ServerOptions {
   std::function<bool()> should_stop;
   /// Grace window after should_stop for in-flight client traffic.
   int drain_ms = 500;
+  /// Registry mirroring the serve.* counters/histograms and answering
+  /// StatsRequest frames; nullptr → obs::MetricsRegistry::global().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// When non-empty, the registry snapshot is written here as JSON: once at
+  /// shutdown, and additionally every metrics_interval_ms while serving
+  /// (0 = final snapshot only). Write failures warn once and never disturb
+  /// serving.
+  std::string metrics_out;
+  int metrics_interval_ms = 0;
 };
 
 struct ServerStats {

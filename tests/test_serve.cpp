@@ -26,6 +26,7 @@
 
 #include "dist/protocol.hpp"
 #include "graph/graph.hpp"
+#include "obs/metrics.hpp"
 #include "serve/decision_engine.hpp"
 #include "serve/event_log.hpp"
 #include "serve/server.hpp"
@@ -256,7 +257,8 @@ TEST(DecisionEngine, UnknownAndDuplicateFeedbackAreRejected) {
   const Decision d = engine.decide("k");
   EXPECT_TRUE(engine.report(d.decision_id, 1.0));
   EXPECT_FALSE(engine.report(d.decision_id, 1.0));  // already joined
-  EXPECT_EQ(engine.unknown_feedbacks(), 2u);
+  EXPECT_EQ(engine.unknown_feedbacks(), 1u);   // the never-issued id
+  EXPECT_EQ(engine.duplicate_feedbacks(), 1u); // the re-reported one
   EXPECT_EQ(engine.feedbacks(), 1u);
 }
 
@@ -363,10 +365,31 @@ struct ServedDecision {
   double propensity = 0.0;
 };
 
+/// One StatsRequest/StatsReply exchange on an already-handshaken fd.
+dist::StatsReplyMsg poll_stats_once(int fd) {
+  dist::write_frame(fd, MsgType::kStatsRequest, "");
+  const auto frame = dist::read_frame(fd);
+  EXPECT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kStatsReply);
+  return dist::decode_stats_reply(frame->payload);
+}
+
+/// Value of the named entry in a StatsReply; -1 when absent. Unused in
+/// the NCB_NO_METRICS configuration (its tests compile out).
+[[maybe_unused]] std::int64_t stat_value(const dist::StatsReplyMsg& reply,
+                                         const std::string& name) {
+  for (const dist::StatsEntry& entry : reply.entries) {
+    if (entry.name == name) return static_cast<std::int64_t>(entry.value);
+  }
+  return -1;
+}
+
 struct ScenarioResult {
   std::vector<ServedDecision> decisions;
   std::string log_bytes;
   ServerStats stats;
+  dist::StatsReplyMsg final_stats;  ///< Only filled when polling.
+  std::uint64_t background_polls = 0;
 };
 
 /// Serves `n` lockstep requests over `connections` round-robin client
@@ -374,25 +397,51 @@ struct ScenarioResult {
 /// travels in the same send() as request i+1 (on whatever connection
 /// carries i+1), so the server's processing order is globally sequential —
 /// the engine sees an identical call sequence for ANY connection count.
-ScenarioResult run_scenario(int connections, int n) {
+ScenarioResult run_scenario(int connections, int n,
+                            obs::MetricsRegistry* metrics = nullptr,
+                            bool poll = false) {
   TempDir dir;
   const std::string socket_path = dir.file("serve.sock");
   const std::string log_path = dir.file("serve.ncbl");
 
   ScenarioResult result;
   {
-    EventLog log({log_path});
+    EventLog::Options log_options;
+    log_options.path = log_path;
+    log_options.metrics = metrics;
+    EventLog log(log_options);
     EngineOptions engine_options;
     engine_options.policy_spec = "eps-greedy:eps=0";
     engine_options.epsilon = 0.25;
     engine_options.seed = 20170605;
+    engine_options.metrics = metrics;
     DecisionEngine engine(ring_graph(16), engine_options, &log);
 
     std::atomic<bool> stop{false};
     ServerOptions server_options;
     server_options.socket_path = socket_path;
     server_options.should_stop = [&stop] { return stop.load(); };
+    server_options.metrics = metrics;
     std::thread server([&] { result.stats = run_server(engine, server_options); });
+
+    // Concurrent poller: hammers StatsRequest on its own connection while
+    // decide/feedback traffic flows — the "telemetry observes, never
+    // perturbs" invariant under actual interleaving.
+    std::atomic<bool> poller_stop{false};
+    std::thread poller;
+    if (poll) {
+      poller = std::thread([&] {
+        const int fd = handshake_client(socket_path);
+        if (fd < 0) return;
+        while (!poller_stop.load()) {
+          dist::write_frame(fd, MsgType::kStatsRequest, "");
+          const auto frame = dist::read_frame(fd);
+          if (!frame || frame->type != MsgType::kStatsReply) break;
+          ++result.background_polls;
+        }
+        ::close(fd);
+      });
+    }
 
     std::vector<int> fds;
     try {
@@ -448,12 +497,21 @@ ScenarioResult run_scenario(int connections, int n) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
       EXPECT_EQ(engine.feedbacks(), static_cast<std::uint64_t>(n));
+      // Quiesce the poller first so background_polls is final, then take
+      // one synchronous poll: every feedback has landed, counters exact.
+      poller_stop.store(true);
+      if (poller.joinable()) poller.join();
+      if (poll) result.final_stats = poll_stats_once(fds[0]);
     } catch (...) {
+      poller_stop.store(true);
+      if (poller.joinable()) poller.join();
       for (const int fd : fds) ::close(fd);
       stop.store(true);
       server.join();
       throw;
     }
+    poller_stop.store(true);
+    if (poller.joinable()) poller.join();
     for (const int fd : fds) ::close(fd);
     stop.store(true);
     server.join();
@@ -564,6 +622,110 @@ TEST(ServeServer, RejectsBadHandshakeAndUnexpectedFrames) {
   EXPECT_EQ(stats.decide_requests, 1u);
   EXPECT_EQ(stats.connections_accepted, 3u);
 }
+
+#ifndef NCB_NO_METRICS
+TEST(ServeServer, StatsPollingObservesExactCountersWithoutPerturbing) {
+  obs::MetricsRegistry registry;
+  const int kRequests = 96;
+  ScenarioResult polled =
+      run_scenario(2, kRequests, &registry, /*poll=*/true);
+
+  // The golden hash from the unpolled scenario must survive a concurrent
+  // StatsRequest hammer on a third connection: telemetry observes serving,
+  // it never steers it.
+  EXPECT_EQ(fnv1a(polled.log_bytes), kGoldenLogHash)
+      << "actual hash 0x" << std::hex << fnv1a(polled.log_bytes);
+  EXPECT_GT(polled.background_polls, 0u);
+
+  const dist::StatsReplyMsg& live = polled.final_stats;
+  EXPECT_EQ(stat_value(live, "serve.decide.requests"), kRequests);
+  EXPECT_EQ(stat_value(live, "serve.feedback.frames"), kRequests);
+  EXPECT_EQ(stat_value(live, "serve.engine.decisions"), kRequests);
+  EXPECT_EQ(stat_value(live, "serve.engine.feedbacks"), kRequests);
+  EXPECT_EQ(stat_value(live, "serve.log.records"), 2 * kRequests);
+  EXPECT_EQ(stat_value(live, "serve.protocol.errors"), 0);
+  // 2 lockstep clients + the poller connection.
+  EXPECT_EQ(stat_value(live, "serve.connections.accepted"), 3);
+  // The final poll counts itself before snapshotting.
+  EXPECT_GE(stat_value(live, "serve.stats.requests"),
+            static_cast<std::int64_t>(polled.background_polls) + 1);
+  EXPECT_EQ(stat_value(live, "serve.decide.latency_us.count"), kRequests);
+  EXPECT_EQ(stat_value(live, "serve.feedback.latency_us.count"), kRequests);
+}
+
+TEST(ServeServer, StatsRequestReportsProtocolAndDuplicateErrors) {
+  obs::MetricsRegistry registry;
+  TempDir dir;
+  const std::string socket_path = dir.file("serve.sock");
+  EngineOptions engine_options;
+  engine_options.policy_spec = "eps-greedy:eps=0";
+  engine_options.epsilon = 0.0;
+  engine_options.metrics = &registry;
+  DecisionEngine engine(ring_graph(4), engine_options);
+
+  std::atomic<bool> stop{false};
+  ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.should_stop = [&stop] { return stop.load(); };
+  server_options.metrics = &registry;
+  ServerStats stats;
+  std::thread server([&] { stats = run_server(engine, server_options); });
+
+  {  // Sweep-only frame type: dropped, counted by name.
+    const int fd = handshake_client(socket_path);
+    ASSERT_GE(fd, 0);
+    dist::write_frame(fd, MsgType::kShutdown, "");
+    EXPECT_FALSE(dist::read_frame(fd).has_value());
+    ::close(fd);
+  }
+  {  // A StatsRequest must carry an empty payload.
+    const int fd = handshake_client(socket_path);
+    ASSERT_GE(fd, 0);
+    dist::write_frame(fd, MsgType::kStatsRequest, "boom");
+    EXPECT_FALSE(dist::read_frame(fd).has_value());
+    ::close(fd);
+  }
+
+  const int fd = handshake_client(socket_path);
+  ASSERT_GE(fd, 0);
+  dist::DecideRequestMsg request;
+  request.request_id = 1;
+  request.user_key = "dup";
+  dist::write_frame(fd, MsgType::kDecideRequest,
+                    dist::encode_decide_request(request));
+  const auto frame = dist::read_frame(fd);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MsgType::kDecideReply);
+  const dist::DecideReplyMsg reply =
+      dist::decode_decide_reply(frame->payload);
+
+  // Same decision acknowledged twice: first lands, second is a duplicate.
+  dist::FeedbackMsg feedback;
+  feedback.decision_id = reply.decision_id;
+  feedback.reward = 0.5;
+  dist::write_frame(fd, MsgType::kFeedback, dist::encode_feedback(feedback));
+  dist::write_frame(fd, MsgType::kFeedback, dist::encode_feedback(feedback));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (engine.duplicate_feedbacks() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const dist::StatsReplyMsg live = poll_stats_once(fd);
+  EXPECT_EQ(stat_value(live, "serve.protocol.errors"), 2);
+  EXPECT_EQ(stat_value(live, "serve.engine.duplicate_feedbacks"), 1);
+  EXPECT_EQ(stat_value(live, "serve.engine.unknown_feedbacks"), 0);
+  EXPECT_EQ(stat_value(live, "serve.engine.feedbacks"), 1);
+  EXPECT_EQ(stat_value(live, "serve.decide.requests"), 1);
+  EXPECT_EQ(stat_value(live, "serve.connections.accepted"), 3);
+  ::close(fd);
+
+  stop.store(true);
+  server.join();
+  EXPECT_EQ(stats.protocol_errors, 2u);
+}
+#endif  // NCB_NO_METRICS
 
 }  // namespace
 }  // namespace ncb::serve
